@@ -1,0 +1,201 @@
+//! VaACS-style **genetic** ALS.
+//!
+//! VaACS (Balaskas et al., TCSI'22) evolves approximate circuits with a
+//! genetic algorithm: mutation applies approximate transformations,
+//! crossover recombines circuit structures, and a scalar delay-oriented
+//! fitness with tournament selection drives convergence under a fixed
+//! error constraint (no Pareto ranking, no constraint relaxation — the
+//! structural differences from the paper's DCGWO).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdals_core::{random_lac, reproduce, Candidate, EvalContext, LevelWeights};
+use tdals_netlist::Netlist;
+
+/// Tunables for [`genetic_depth`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneticConfig {
+    /// Population size.
+    pub population: usize,
+    /// Generations.
+    pub generations: usize,
+    /// Per-individual mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Elite individuals copied unchanged each generation.
+    pub elitism: usize,
+    /// Cap on TFI switch candidates per mutation.
+    pub max_switch_candidates: usize,
+    /// `we` of the reproduction level function.
+    pub level_we: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> GeneticConfig {
+        GeneticConfig {
+            population: 30,
+            generations: 20,
+            mutation_rate: 0.6,
+            tournament: 3,
+            elitism: 2,
+            max_switch_candidates: 48,
+            level_we: 0.1,
+            seed: 0x6A6A,
+        }
+    }
+}
+
+/// Delay-oriented scalar fitness: `CPD_ori / CPD_app`, zeroed out for
+/// circuits over the error budget.
+fn ga_fitness(ctx: &EvalContext, cand: &Candidate, error_bound: f64) -> f64 {
+    if cand.error > error_bound {
+        return 0.0;
+    }
+    ctx.cpd_ori() / cand.cpd.max(1e-9)
+}
+
+/// Runs the genetic loop and returns the best feasible netlist.
+pub fn genetic_depth(ctx: &EvalContext, error_bound: f64, cfg: &GeneticConfig) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let weights = LevelWeights::paper_defaults(ctx.cpd_ori(), cfg.level_we);
+
+    let accurate = ctx.evaluate(ctx.accurate().clone());
+    let mut best = accurate.clone();
+    let mut best_fit = ga_fitness(ctx, &best, error_bound);
+
+    let mut population: Vec<Candidate> = vec![accurate.clone()];
+    while population.len() < cfg.population.max(2) {
+        let mut netlist = accurate.netlist.clone();
+        let sim = ctx.simulate(&netlist);
+        if let Some(lac) = random_lac(&netlist, &sim, cfg.max_switch_candidates, &mut rng) {
+            lac.apply(&mut netlist).expect("legal LAC");
+        }
+        population.push(ctx.evaluate(netlist));
+    }
+
+    for _ in 0..cfg.generations {
+        let fits: Vec<f64> = population
+            .iter()
+            .map(|c| ga_fitness(ctx, c, error_bound))
+            .collect();
+        for (cand, &fit) in population.iter().zip(&fits) {
+            if fit > best_fit {
+                best_fit = fit;
+                best = cand.clone();
+            }
+        }
+
+        let tournament_pick = |rng: &mut StdRng| -> usize {
+            let mut winner = rng.gen_range(0..population.len());
+            for _ in 1..cfg.tournament.max(1) {
+                let challenger = rng.gen_range(0..population.len());
+                if fits[challenger] > fits[winner] {
+                    winner = challenger;
+                }
+            }
+            winner
+        };
+
+        // Elites survive unchanged.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| fits[b].total_cmp(&fits[a]));
+        let mut next: Vec<Candidate> = order
+            .iter()
+            .take(cfg.elitism.min(population.len()))
+            .map(|&i| population[i].clone())
+            .collect();
+
+        while next.len() < cfg.population.max(2) {
+            let pa = tournament_pick(&mut rng);
+            let pb = tournament_pick(&mut rng);
+            let mut child = if pa == pb {
+                population[pa].netlist.clone()
+            } else {
+                reproduce(&population[pa], &population[pb], &weights)
+            };
+            if rng.gen::<f64>() < cfg.mutation_rate {
+                let sim = ctx.simulate(&child);
+                if let Some(lac) = random_lac(&child, &sim, cfg.max_switch_candidates, &mut rng)
+                {
+                    lac.apply(&mut child).expect("legal LAC");
+                }
+            }
+            next.push(ctx.evaluate(child));
+        }
+        population = next;
+    }
+
+    for cand in &population {
+        let fit = ga_fitness(ctx, cand, error_bound);
+        if fit > best_fit {
+            best_fit = fit;
+            best = cand.clone();
+        }
+    }
+    best.netlist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdals_netlist::builder::Builder;
+    use tdals_netlist::SignalRef;
+    use tdals_sim::{ErrorMetric, Patterns};
+    use tdals_sta::TimingConfig;
+
+    fn ctx() -> EvalContext {
+        let mut b = Builder::new("add6");
+        let a = b.inputs("a", 6);
+        let x = b.inputs("b", 6);
+        let (s, c) = b.ripple_add(&a, &x, SignalRef::Const0);
+        b.outputs("s", &s);
+        b.output("c", c);
+        let n = b.finish();
+        EvalContext::new(
+            &n,
+            Patterns::exhaustive(12),
+            ErrorMetric::Nmed,
+            TimingConfig::default(),
+            0.8,
+        )
+    }
+
+    fn quick_cfg() -> GeneticConfig {
+        GeneticConfig {
+            population: 8,
+            generations: 6,
+            ..GeneticConfig::default()
+        }
+    }
+
+    #[test]
+    fn genetic_respects_error_bound() {
+        let ctx = ctx();
+        let approx = genetic_depth(&ctx, 0.03, &quick_cfg());
+        approx.check_invariants().expect("valid");
+        assert!(ctx.evaluator().error_of(&approx) <= 0.03 + 1e-12);
+    }
+
+    #[test]
+    fn genetic_improves_delay_given_budget() {
+        let ctx = ctx();
+        let approx = genetic_depth(&ctx, 0.05, &quick_cfg());
+        let cpd = ctx.analyze(&approx).critical_path_delay();
+        assert!(
+            cpd <= ctx.cpd_ori() + 1e-9,
+            "cpd {cpd} vs accurate {}",
+            ctx.cpd_ori()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ctx = ctx();
+        let a = genetic_depth(&ctx, 0.03, &quick_cfg());
+        let b = genetic_depth(&ctx, 0.03, &quick_cfg());
+        assert_eq!(a, b);
+    }
+}

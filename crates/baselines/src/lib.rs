@@ -1,0 +1,249 @@
+//! # tdals-baselines
+//!
+//! Re-implementations of the ALS methods the paper compares against,
+//! running on the same netlist/STA/simulation substrate as the DCGWO
+//! flow so that TABLEs II/III and Figs. 7/8 can be regenerated
+//! method-for-method:
+//!
+//! * [`greedy_area`] — VECBEE-SASIMI-style greedy area-driven selection;
+//! * [`genetic_depth`] — VaACS-style genetic optimization;
+//! * [`depth_driven`] — HEDALS-style critical-path depth reduction;
+//! * the single-chase GWO baseline lives in
+//!   [`tdals_core::ChaseStrategy::SingleChase`].
+//!
+//! [`Method`] enumerates all five flows (baselines + ours) behind one
+//! entry point, [`run_method`], which also applies the shared
+//! post-optimization so every method converts its area savings into
+//! timing, exactly as the paper's evaluation protocol requires.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod genetic;
+mod greedy;
+mod hedals;
+
+use std::time::Instant;
+
+pub use genetic::{genetic_depth, GeneticConfig};
+pub use greedy::{greedy_area, GreedyConfig};
+pub use hedals::{depth_driven, HedalsConfig};
+
+use tdals_core::{
+    optimize, post_optimize, ChaseStrategy, EvalContext, OptimizerConfig, PostOptConfig,
+};
+use tdals_netlist::Netlist;
+
+/// The five flows compared in TABLEs II and III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// VECBEE-SASIMI-style greedy area-driven ALS (`VECBEE-S`).
+    VecbeeSasimi,
+    /// VaACS-style genetic ALS.
+    Vaacs,
+    /// HEDALS-style depth-driven ALS.
+    Hedals,
+    /// Traditional single-chase grey wolf optimizer.
+    SingleChaseGwo,
+    /// The paper's double-chase grey wolf optimizer (`Ours`).
+    Dcgwo,
+}
+
+/// All methods in the paper's column order.
+pub const ALL_METHODS: [Method; 5] = [
+    Method::VecbeeSasimi,
+    Method::Vaacs,
+    Method::Hedals,
+    Method::SingleChaseGwo,
+    Method::Dcgwo,
+];
+
+impl Method {
+    /// Column label used in the paper's tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Method::VecbeeSasimi => "VECBEE-S",
+            Method::Vaacs => "VaACS",
+            Method::Hedals => "HEDALS",
+            Method::SingleChaseGwo => "GWO",
+            Method::Dcgwo => "Ours",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Shared knobs for [`run_method`]; per-method details keep their own
+/// defaults scaled to `population`/`iterations`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodConfig {
+    /// Population size for the population-based methods.
+    pub population: usize,
+    /// Iterations / generations / greedy-round budget.
+    pub iterations: usize,
+    /// `we` of the reproduction level function (0.1 ER / 0.2 NMED).
+    pub level_we: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MethodConfig {
+    fn default() -> MethodConfig {
+        MethodConfig {
+            population: 30,
+            iterations: 20,
+            level_we: 0.1,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one method run, post-optimization included.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Final approximate netlist.
+    pub netlist: Netlist,
+    /// `Ratio_cpd = CPD_fac / CPD_ori`.
+    pub ratio_cpd: f64,
+    /// Final CPD in ps.
+    pub cpd_fac: f64,
+    /// Final measured error.
+    pub error: f64,
+    /// Final live area in µm².
+    pub area: f64,
+    /// Wall-clock runtime in seconds (optimization + post-opt).
+    pub runtime_s: f64,
+}
+
+/// Runs one method end-to-end: optimization, then the shared
+/// post-optimization under `area_con` (defaults to the accurate
+/// circuit's area when `None`), per the paper's evaluation protocol.
+pub fn run_method(
+    ctx: &EvalContext,
+    method: Method,
+    error_bound: f64,
+    area_con: Option<f64>,
+    cfg: &MethodConfig,
+) -> MethodResult {
+    let start = Instant::now();
+    let mut netlist = match method {
+        Method::VecbeeSasimi => {
+            let greedy_cfg = GreedyConfig {
+                candidates_per_round: cfg.population.max(8),
+                max_rounds: cfg.iterations * 10,
+                seed: cfg.seed,
+                ..GreedyConfig::default()
+            };
+            greedy_area(ctx, error_bound, &greedy_cfg)
+        }
+        Method::Vaacs => {
+            let ga_cfg = GeneticConfig {
+                population: cfg.population,
+                generations: cfg.iterations,
+                level_we: cfg.level_we,
+                seed: cfg.seed,
+                ..GeneticConfig::default()
+            };
+            genetic_depth(ctx, error_bound, &ga_cfg)
+        }
+        Method::Hedals => {
+            let h_cfg = HedalsConfig {
+                max_rounds: cfg.iterations * 10,
+                seed: cfg.seed,
+                ..HedalsConfig::default()
+            };
+            depth_driven(ctx, error_bound, &h_cfg)
+        }
+        Method::SingleChaseGwo | Method::Dcgwo => {
+            let opt_cfg = OptimizerConfig {
+                population: cfg.population,
+                iterations: cfg.iterations,
+                level_we: cfg.level_we,
+                seed: cfg.seed,
+                chase: if method == Method::Dcgwo {
+                    ChaseStrategy::DoubleChase
+                } else {
+                    ChaseStrategy::SingleChase
+                },
+                ..OptimizerConfig::default()
+            };
+            optimize(ctx, error_bound, &opt_cfg).best.netlist
+        }
+    };
+
+    let area_con = area_con.unwrap_or_else(|| ctx.area_ori());
+    let post = post_optimize(&mut netlist, ctx.timing(), &PostOptConfig::new(area_con));
+    let error = ctx.evaluator().error_of(&netlist);
+    MethodResult {
+        ratio_cpd: post.cpd_final / ctx.cpd_ori().max(1e-9),
+        cpd_fac: post.cpd_final,
+        error,
+        area: netlist.area_live(),
+        runtime_s: start.elapsed().as_secs_f64(),
+        netlist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdals_netlist::builder::Builder;
+    use tdals_netlist::SignalRef;
+    use tdals_sim::{ErrorMetric, Patterns};
+    use tdals_sta::TimingConfig;
+
+    fn ctx() -> EvalContext {
+        let mut b = Builder::new("add6");
+        let a = b.inputs("a", 6);
+        let x = b.inputs("b", 6);
+        let (s, c) = b.ripple_add(&a, &x, SignalRef::Const0);
+        b.outputs("s", &s);
+        b.output("c", c);
+        let n = b.finish();
+        EvalContext::new(
+            &n,
+            Patterns::exhaustive(12),
+            ErrorMetric::Nmed,
+            TimingConfig::default(),
+            0.8,
+        )
+    }
+
+    #[test]
+    fn all_methods_run_and_respect_constraints() {
+        let ctx = ctx();
+        let cfg = MethodConfig {
+            population: 8,
+            iterations: 5,
+            level_we: 0.2,
+            seed: 3,
+        };
+        let bound = 0.03;
+        for method in ALL_METHODS {
+            let result = run_method(&ctx, method, bound, None, &cfg);
+            assert!(
+                result.error <= bound + 1e-12,
+                "{method} violates the error bound: {}",
+                result.error
+            );
+            assert!(
+                result.area <= ctx.area_ori() + 1e-9,
+                "{method} violates the area constraint"
+            );
+            assert!(result.ratio_cpd <= 1.0 + 1e-9, "{method} made timing worse");
+            result.netlist.check_invariants().expect("valid netlist");
+        }
+    }
+
+    #[test]
+    fn method_labels_are_distinct() {
+        let mut labels: Vec<&str> = ALL_METHODS.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ALL_METHODS.len());
+    }
+}

@@ -1,0 +1,44 @@
+//! Incremental vs from-scratch STA: the speedup that matters when an
+//! optimizer evaluates thousands of single-LAC candidates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdals_circuits::Benchmark;
+use tdals_netlist::SignalRef;
+use tdals_sta::{analyze, IncrementalSta, TimingConfig};
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let cfg = TimingConfig::default();
+    let netlist = Benchmark::C6288.build();
+    // A representative LAC: substitute one mid-circuit gate.
+    let target = netlist
+        .output_driver(8)
+        .gate()
+        .expect("gate-driven PO");
+
+    let mut group = c.benchmark_group("sta_after_one_lac");
+    group.bench_function("full_reanalysis/c6288", |b| {
+        b.iter_batched(
+            || netlist.clone(),
+            |mut n| {
+                n.substitute(target, SignalRef::Const0).expect("lac");
+                analyze(&n, &cfg)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("incremental_update/c6288", |b| {
+        b.iter_batched(
+            || (netlist.clone(), IncrementalSta::new(&netlist, cfg)),
+            |(mut n, mut inc)| {
+                inc.substitute(&mut n, target, SignalRef::Const0)
+                    .expect("lac");
+                inc.critical_path_delay(&n)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_full);
+criterion_main!(benches);

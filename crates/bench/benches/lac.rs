@@ -1,0 +1,71 @@
+//! Local-approximate-change machinery: substitution, target-set
+//! construction, switch selection, and circuit reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdals_bench::{context_for, Effort};
+use tdals_circuits::Benchmark;
+use tdals_core::{collect_targets, reproduce, select_switch, LevelWeights};
+use tdals_netlist::SignalRef;
+
+fn bench_substitute(c: &mut Criterion) {
+    let netlist = Benchmark::C880.build();
+    let target = netlist.output_driver(0).gate().expect("gate-driven PO");
+    c.bench_function("substitute/c880", |b| {
+        b.iter_batched(
+            || netlist.clone(),
+            |mut n| n.substitute(target, SignalRef::Const0).expect("lac"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_collect_targets(c: &mut Criterion) {
+    let (ctx, _) = context_for(Benchmark::C880, Effort::Quick);
+    let netlist = ctx.accurate().clone();
+    let report = ctx.analyze(&netlist);
+    c.bench_function("collect_targets/c880", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| collect_targets(&netlist, &report, 3, &mut rng))
+    });
+}
+
+fn bench_select_switch(c: &mut Criterion) {
+    let (ctx, _) = context_for(Benchmark::C880, Effort::Quick);
+    let netlist = ctx.accurate().clone();
+    let sim = ctx.simulate(&netlist);
+    let report = ctx.analyze(&netlist);
+    let mut rng = StdRng::seed_from_u64(2);
+    let targets = collect_targets(&netlist, &report, 3, &mut rng);
+    let target = targets[0];
+    c.bench_function("select_switch/c880", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| select_switch(&netlist, &sim, target, 48, &mut rng))
+    });
+}
+
+fn bench_reproduce(c: &mut Criterion) {
+    let (ctx, _) = context_for(Benchmark::C880, Effort::Quick);
+    let mut na = ctx.accurate().clone();
+    let mut nb = ctx.accurate().clone();
+    let da = na.output_driver(0).gate().expect("gate");
+    let db = nb.output_driver(1).gate().expect("gate");
+    na.substitute(da, SignalRef::Const0).expect("lac");
+    nb.substitute(db, SignalRef::Const1).expect("lac");
+    let ca = ctx.evaluate(na);
+    let cb = ctx.evaluate(nb);
+    let weights = LevelWeights::paper_defaults(ctx.cpd_ori(), 0.1);
+    c.bench_function("reproduce/c880", |b| {
+        b.iter(|| reproduce(&ca, &cb, &weights))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_substitute,
+    bench_collect_targets,
+    bench_select_switch,
+    bench_reproduce
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Scaled-down end-to-end optimizer runs: double- vs single-chase on a
+//! small benchmark, plus the post-optimization pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdals_bench::{context_for, Effort};
+use tdals_circuits::Benchmark;
+use tdals_core::{optimize, post_optimize, ChaseStrategy, OptimizerConfig, PostOptConfig};
+
+fn small_cfg(chase: ChaseStrategy) -> OptimizerConfig {
+    OptimizerConfig {
+        population: 8,
+        iterations: 4,
+        chase,
+        seed: 11,
+        ..OptimizerConfig::default()
+    }
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let (ctx, _) = context_for(Benchmark::Max16, Effort::Quick);
+    let mut group = c.benchmark_group("optimize_max16");
+    group.sample_size(10);
+    group.bench_function("double_chase", |b| {
+        b.iter(|| optimize(&ctx, 0.02, &small_cfg(ChaseStrategy::DoubleChase)))
+    });
+    group.bench_function("single_chase", |b| {
+        b.iter(|| optimize(&ctx, 0.02, &small_cfg(ChaseStrategy::SingleChase)))
+    });
+    group.finish();
+}
+
+fn bench_post_opt(c: &mut Criterion) {
+    let (ctx, _) = context_for(Benchmark::Max16, Effort::Quick);
+    let result = optimize(&ctx, 0.02, &small_cfg(ChaseStrategy::DoubleChase));
+    let area_con = ctx.area_ori();
+    c.bench_function("post_optimize/max16", |b| {
+        b.iter_batched(
+            || result.best.netlist.clone(),
+            |mut n| post_optimize(&mut n, ctx.timing(), &PostOptConfig::new(area_con)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_optimize, bench_post_opt);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Non-dominated sorting / crowding selection cost — runs once per
+//! DCGWO iteration over the candidates group (~2N circuits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdals_core::pareto::{non_dominated_sort, select, Objectives};
+
+fn random_points(n: usize, seed: u64) -> Vec<Objectives> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Objectives::new(1.0 + rng.gen::<f64>(), 1.0 + rng.gen::<f64>()))
+        .collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("non_dominated_sort");
+    for n in [60usize, 240, 960] {
+        let pts = random_points(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| non_dominated_sort(pts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let pts = random_points(240, 7);
+    c.bench_function("select_240_to_30", |b| b.iter(|| select(&pts, 30)));
+}
+
+criterion_group!(benches, bench_sort, bench_select);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Static timing analysis cost — DCGWO runs one STA per candidate, so
+//! this bounds the optimizer's per-iteration budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tdals_circuits::Benchmark;
+use tdals_sta::{analyze, critical_path, size_for_timing, SizingConfig, TimingConfig};
+
+fn bench_analyze(c: &mut Criterion) {
+    let cfg = TimingConfig::default();
+    let mut group = c.benchmark_group("sta_analyze");
+    for bench in [Benchmark::C880, Benchmark::C6288, Benchmark::C5315] {
+        let netlist = bench.build();
+        group.throughput(Throughput::Elements(netlist.gate_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &netlist,
+            |b, n| b.iter(|| analyze(n, &cfg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let cfg = TimingConfig::default();
+    let netlist = Benchmark::C6288.build();
+    let report = analyze(&netlist, &cfg);
+    c.bench_function("critical_path/c6288", |b| {
+        b.iter(|| critical_path(&netlist, &report))
+    });
+}
+
+fn bench_sizing(c: &mut Criterion) {
+    let cfg = TimingConfig::default();
+    let netlist = Benchmark::Adder16.build();
+    let budget = netlist.area_live() * 1.3;
+    c.bench_function("size_for_timing/adder16", |b| {
+        b.iter_batched(
+            || netlist.clone(),
+            |mut n| size_for_timing(&mut n, &cfg, budget, &SizingConfig::default()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_analyze, bench_critical_path, bench_sizing);
+criterion_main!(benches);

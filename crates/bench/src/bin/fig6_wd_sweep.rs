@@ -1,0 +1,55 @@
+//! Regenerates **Fig. 6**: average `Ratio_cpd` of the full flow as a
+//! function of the depth weight `wd`, under the tightest and loosest
+//! ER (a) and NMED (b) constraints.
+//!
+//! ```sh
+//! TDALS_EFFORT=quick cargo run --release -p tdals-bench --bin fig6_wd_sweep
+//! ```
+
+use tdals_baselines::{run_method, Method, MethodConfig};
+use tdals_bench::{context_for_wd, level_we, Effort};
+use tdals_circuits::Benchmark;
+
+fn sweep(benches: &[Benchmark], bounds: &[f64], effort: Effort, label: &str) {
+    println!("\nFig. 6{label}: average Ratio_cpd vs depth weight wd");
+    print!("{:>6}", "wd");
+    for &bound in bounds {
+        print!(" {:>12}", format!("bound {bound}"));
+    }
+    println!();
+    for wd_step in 0..=5 {
+        let wd = f64::from(wd_step) * 0.2;
+        print!("{:>6.1}", wd);
+        for &bound in bounds {
+            let mut sum = 0.0;
+            for bench in benches {
+                let (ctx, metric) = context_for_wd(*bench, effort, wd);
+                let cfg = MethodConfig {
+                    population: effort.population(),
+                    iterations: effort.iterations(),
+                    level_we: level_we(metric),
+                    seed: 0xF16,
+                };
+                let r = run_method(&ctx, Method::Dcgwo, bound, None, &cfg);
+                sum += r.ratio_cpd;
+            }
+            print!(" {:>12.4}", sum / benches.len() as f64);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let effort = Effort::from_env();
+    // Representative subset per class keeps the 2-D sweep tractable;
+    // paper shape: minimum Ratio_cpd near wd = 0.8 for all four curves.
+    let rc = effort.filter(vec![Benchmark::Cavlc, Benchmark::C880, Benchmark::C1908]);
+    let arith = effort.filter(vec![
+        Benchmark::Int2float,
+        Benchmark::Adder16,
+        Benchmark::Max16,
+    ]);
+    sweep(&rc, &[0.01, 0.05], effort, "a (ER tightest/loosest)");
+    sweep(&arith, &[0.0048, 0.0244], effort, "b (NMED tightest/loosest)");
+    println!("\npaper shape: minima at wd = 0.8 under all four constraints");
+}

@@ -1,0 +1,38 @@
+//! Regenerates **TABLE I**: benchmark statistics — gate count, PI/PO,
+//! accurate critical path delay (`CPD_ori`, ps) and area (`Area_ori`,
+//! µm²).
+//!
+//! ```sh
+//! cargo run --release -p tdals-bench --bin table1
+//! ```
+
+use tdals_circuits::{CircuitClass, ALL_BENCHMARKS};
+use tdals_sta::{analyze, TimingConfig};
+
+fn main() {
+    let cfg = TimingConfig::default();
+    println!("TABLE I — benchmark statistics (regenerated substrate)");
+    println!(
+        "{:<12} {:<16} {:>7} {:>9} {:>12} {:>12}  {}",
+        "type", "circuit", "#gate", "#PI/PO", "CPD_ori ps", "Area µm²", "description"
+    );
+    for bench in ALL_BENCHMARKS {
+        let netlist = bench.build();
+        let report = analyze(&netlist, &cfg);
+        let class = match bench.class() {
+            CircuitClass::RandomControl => "rand/ctrl",
+            CircuitClass::Arithmetic => "arith",
+        };
+        println!(
+            "{:<12} {:<16} {:>7} {:>4}/{:<4} {:>12.2} {:>12.2}  {}",
+            class,
+            bench.name(),
+            netlist.logic_gate_count(),
+            netlist.input_count(),
+            netlist.output_count(),
+            report.critical_path_delay(),
+            netlist.area_live(),
+            bench.description()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates **TABLE III**: `Ratio_cpd` and runtime for all five
+//! methods on the arithmetic circuits under the 2.44% NMED constraint,
+//! with post-optimization under `Area_con = Area_ori`.
+//!
+//! ```sh
+//! TDALS_EFFORT=standard cargo run --release -p tdals-bench --bin table3
+//! ```
+
+use tdals_baselines::{run_method, MethodConfig, ALL_METHODS};
+use tdals_bench::{context_for, level_we, Effort};
+use tdals_circuits::Benchmark;
+
+fn main() {
+    let effort = Effort::from_env();
+    let bound = 0.0244;
+    println!("TABLE III — Ratio_cpd / runtime under 2.44% NMED (effort {effort:?})");
+    print!("{:<10} {:>10}", "circuit", "Area_con");
+    for m in ALL_METHODS {
+        print!(" {:>10} {:>9}", m.label(), "time s");
+    }
+    println!();
+
+    let benches = effort.filter(Benchmark::arithmetic());
+    let mut sums = vec![0.0f64; ALL_METHODS.len()];
+    let mut time_sums = vec![0.0f64; ALL_METHODS.len()];
+    for bench in &benches {
+        let (ctx, metric) = context_for(*bench, effort);
+        let cfg = MethodConfig {
+            population: effort.population(),
+            iterations: effort.iterations(),
+            level_we: level_we(metric),
+            seed: 0x7AB3,
+        };
+        print!("{:<10} {:>10.2}", bench.name(), ctx.area_ori());
+        for (i, method) in ALL_METHODS.into_iter().enumerate() {
+            let r = run_method(&ctx, method, bound, None, &cfg);
+            sums[i] += r.ratio_cpd;
+            time_sums[i] += r.runtime_s;
+            print!(" {:>10.4} {:>9.2}", r.ratio_cpd, r.runtime_s);
+        }
+        println!();
+    }
+    let n = benches.len() as f64;
+    print!("{:<10} {:>10}", "Average", "");
+    for i in 0..ALL_METHODS.len() {
+        print!(" {:>10.4} {:>9.2}", sums[i] / n, time_sums[i] / n);
+    }
+    println!();
+    println!(
+        "\npaper (TABLE III averages): VECBEE-S 0.8732, VaACS 0.7081, HEDALS 0.6731, GWO 0.7035, Ours 0.6146"
+    );
+}

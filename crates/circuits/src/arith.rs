@@ -1,0 +1,577 @@
+//! Arithmetic datapath generators: adders, multipliers, max units,
+//! int-to-float conversion, polynomial sine, and integer square root.
+//!
+//! These are the combinational cores behind the paper's arithmetic
+//! benchmarks (TABLE I). All buses are LSB-first `SignalRef` slices and
+//! all generators append gates to a caller-provided [`Builder`], so they
+//! compose freely.
+
+use tdals_netlist::builder::Builder;
+use tdals_netlist::SignalRef;
+
+/// Carry-select addition: the bus is split into blocks; each non-initial
+/// block is computed for both carry-in values and selected by the real
+/// carry. Returns `(sum, carry_out)`.
+///
+/// Compared to a plain ripple adder this is faster and larger — closer
+/// to what Design Compiler produces for the paper's `Adder16`/`Adder`
+/// benchmarks.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width or `block` is zero.
+pub fn carry_select_add(
+    b: &mut Builder,
+    a: &[SignalRef],
+    x: &[SignalRef],
+    cin: SignalRef,
+    block: usize,
+) -> (Vec<SignalRef>, SignalRef) {
+    assert_eq!(a.len(), x.len(), "adder operands must match in width");
+    assert!(block > 0, "block size must be positive");
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    let mut base = 0usize;
+    while base < a.len() {
+        let end = (base + block).min(a.len());
+        let ab = &a[base..end];
+        let xb = &x[base..end];
+        if base == 0 {
+            let (s, c) = b.ripple_add(ab, xb, carry);
+            sum.extend(s);
+            carry = c;
+        } else {
+            let (s0, c0) = b.ripple_add(ab, xb, SignalRef::Const0);
+            let (s1, c1) = b.ripple_add(ab, xb, SignalRef::Const1);
+            let sel = b.mux_word(carry, &s0, &s1);
+            sum.extend(sel);
+            carry = b.mux(carry, c0, c1);
+        }
+        base = end;
+    }
+    (sum, carry)
+}
+
+/// Kogge-Stone parallel-prefix addition: logarithmic depth at the cost
+/// of a dense prefix network, matching the delay-optimized adders a
+/// commercial synthesis flow emits for the paper's `Adder16`/`Adder`
+/// benchmarks. Returns `(sum, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width.
+pub fn kogge_stone_add(
+    b: &mut Builder,
+    a: &[SignalRef],
+    x: &[SignalRef],
+    cin: SignalRef,
+) -> (Vec<SignalRef>, SignalRef) {
+    assert_eq!(a.len(), x.len(), "adder operands must match in width");
+    let n = a.len();
+    let p: Vec<SignalRef> = a.iter().zip(x).map(|(&u, &v)| b.xor(u, v)).collect();
+    let g: Vec<SignalRef> = a.iter().zip(x).map(|(&u, &v)| b.and(u, v)).collect();
+
+    // Prefix elements indexed 0..=n: element 0 is the carry-in
+    // (G = cin, P = 0), element i+1 covers bit i.
+    let mut gs: Vec<SignalRef> = Vec::with_capacity(n + 1);
+    let mut ps: Vec<SignalRef> = Vec::with_capacity(n + 1);
+    gs.push(cin);
+    ps.push(SignalRef::Const0);
+    gs.extend(&g);
+    ps.extend(&p);
+
+    let mut dist = 1usize;
+    while dist <= n {
+        let mut next_g = gs.clone();
+        let mut next_p = ps.clone();
+        for i in dist..=n {
+            let t = b.and(ps[i], gs[i - dist]);
+            next_g[i] = b.or(gs[i], t);
+            next_p[i] = b.and(ps[i], ps[i - dist]);
+        }
+        gs = next_g;
+        ps = next_p;
+        dist *= 2;
+    }
+
+    // carry into bit i is the full prefix G over elements 0..=i.
+    let sum: Vec<SignalRef> = (0..n).map(|i| b.xor(p[i], gs[i])).collect();
+    (sum, gs[n])
+}
+
+/// Unsigned array multiplier (`a × x`), the structure of the paper's
+/// `c6288` 16×16 benchmark. Returns `a.len() + x.len()` product bits.
+pub fn array_multiplier(b: &mut Builder, a: &[SignalRef], x: &[SignalRef]) -> Vec<SignalRef> {
+    let (wa, wx) = (a.len(), x.len());
+    let width = wa + wx;
+    // Accumulate partial products row by row with ripple adders.
+    let mut acc: Vec<SignalRef> = vec![SignalRef::Const0; width];
+    for (j, &xj) in x.iter().enumerate() {
+        let mut row: Vec<SignalRef> = vec![SignalRef::Const0; width];
+        for (i, &ai) in a.iter().enumerate() {
+            row[i + j] = b.and(ai, xj);
+        }
+        let (sum, _) = b.ripple_add(&acc, &row, SignalRef::Const0);
+        acc = sum;
+    }
+    acc
+}
+
+/// Parallel-prefix unsigned `a >= x` comparator: per-bit equal/greater
+/// signals combined in a balanced tree (logarithmic depth, the shape a
+/// delay-optimized synthesis run produces for wide compares).
+///
+/// # Panics
+///
+/// Panics if the buses differ in width or are empty.
+pub fn prefix_ge(b: &mut Builder, a: &[SignalRef], x: &[SignalRef]) -> SignalRef {
+    assert_eq!(a.len(), x.len(), "comparator operands must match in width");
+    assert!(!a.is_empty(), "comparator needs at least one bit");
+    // Per-bit: eq_i = a_i XNOR x_i, gt_i = a_i & !x_i.
+    let mut eq: Vec<SignalRef> = Vec::with_capacity(a.len());
+    let mut gt: Vec<SignalRef> = Vec::with_capacity(a.len());
+    for (&ai, &xi) in a.iter().zip(x) {
+        eq.push(b.xnor(ai, xi));
+        let nx = b.not(xi);
+        gt.push(b.and(ai, nx));
+    }
+    // Combine pairs MSB-down: (eq, gt)_hi ∘ (eq, gt)_lo =
+    //   (eq_hi & eq_lo, gt_hi | (eq_hi & gt_lo)).
+    while eq.len() > 1 {
+        let mut next_eq = Vec::with_capacity(eq.len().div_ceil(2));
+        let mut next_gt = Vec::with_capacity(eq.len().div_ceil(2));
+        let mut i = 0;
+        while i + 1 < eq.len() {
+            let (eq_lo, gt_lo) = (eq[i], gt[i]);
+            let (eq_hi, gt_hi) = (eq[i + 1], gt[i + 1]);
+            let carry = b.and(eq_hi, gt_lo);
+            next_gt.push(b.or(gt_hi, carry));
+            next_eq.push(b.and(eq_hi, eq_lo));
+            i += 2;
+        }
+        if i < eq.len() {
+            next_eq.push(eq[i]);
+            next_gt.push(gt[i]);
+        }
+        eq = next_eq;
+        gt = next_gt;
+    }
+    // a >= x  <=>  a > x or a == x.
+    b.or(gt[0], eq[0])
+}
+
+/// Unsigned maximum of two equal-width buses (`max(a, x)`), the paper's
+/// `Max16` core: a parallel-prefix ≥ comparator steering a word mux.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width.
+pub fn max2(b: &mut Builder, a: &[SignalRef], x: &[SignalRef]) -> Vec<SignalRef> {
+    let a_ge = prefix_ge(b, a, x);
+    b.mux_word(a_ge, x, a)
+}
+
+/// Unsigned maximum of four equal-width buses (the paper's 4-to-1 `Max`
+/// benchmark) via a tournament of [`max2`] units.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width.
+pub fn max4(
+    b: &mut Builder,
+    x0: &[SignalRef],
+    x1: &[SignalRef],
+    x2: &[SignalRef],
+    x3: &[SignalRef],
+) -> Vec<SignalRef> {
+    let m01 = max2(b, x0, x1);
+    let m23 = max2(b, x2, x3);
+    max2(b, &m01, &m23)
+}
+
+/// Integer-to-float conversion (the MCNC `int2float` benchmark shape):
+/// an 11-bit unsigned integer becomes a 7-bit float with a 3-bit
+/// exponent and 4-bit mantissa.
+///
+/// Semantics: for input `v`, let `p` be the position of the leading one
+/// (`p = floor(log2 v)`, `v > 0`). The exponent is `max(p - 3, 0)` and
+/// the mantissa is `v >> max(p - 3, 0)` truncated to 4 bits; inputs
+/// below 16 pass through with exponent 0. Output bus: mantissa bits 0-3,
+/// then exponent bits 4-6.
+///
+/// # Panics
+///
+/// Panics if `v` is not 11 bits wide.
+pub fn int2float(b: &mut Builder, v: &[SignalRef]) -> Vec<SignalRef> {
+    assert_eq!(v.len(), 11, "int2float takes an 11-bit integer");
+    // Shift amount s in 0..=7 with s = max(p-3, 0): v >= 2^(s+3) iff
+    // shift >= s. one_hot[s] selects the exact shift.
+    // any_at_or_above[k] = OR of v[k..].
+    let mut any_above = vec![SignalRef::Const0; 12];
+    for k in (0..11).rev() {
+        any_above[k] = b.or(v[k], any_above[k + 1]);
+    }
+    // shift s chosen when leading one is at position s+3 (for s>=1);
+    // s=0 when v < 2^4.
+    let mut mantissa = [SignalRef::Const0; 4];
+    let mut exponent = [SignalRef::Const0; 3];
+    // Exponent bits: s = sum of one-hot selections; s in 0..=7.
+    let mut one_hot = Vec::with_capacity(8);
+    for s in 0..8usize {
+        let sel = if s == 0 {
+            // v < 16.
+            b.not(any_above[4])
+        } else if s < 7 {
+            // Leading one exactly at position s+3.
+            let not_higher = b.not(any_above[s + 4]);
+            b.and(v[s + 3], not_higher)
+        } else {
+            // s = 7: leading one at position 10.
+            v[10]
+        };
+        one_hot.push(sel);
+    }
+    for (s, &sel) in one_hot.iter().enumerate() {
+        for bit in 0..3 {
+            if s >> bit & 1 == 1 {
+                exponent[bit] = b.or(exponent[bit], sel);
+            }
+        }
+        // Mantissa: (v >> s) & 0xF gated by this selection.
+        for bit in 0..4 {
+            if s + bit < 11 {
+                let gated = b.and(sel, v[s + bit]);
+                mantissa[bit] = b.or(mantissa[bit], gated);
+            }
+        }
+    }
+    let mut out = mantissa.to_vec();
+    out.extend_from_slice(&exponent);
+    out
+}
+
+/// Reference model for [`int2float`] (used by tests and examples).
+pub fn int2float_reference(v: u32) -> u32 {
+    assert!(v < (1 << 11));
+    let p = 31 - v.leading_zeros().min(31);
+    let s = if v < 16 { 0 } else { (p - 3).min(7) };
+    let mantissa = (v >> s) & 0xF;
+    let exponent = s & 0x7;
+    mantissa | (exponent << 4)
+}
+
+/// Fixed-point sine approximation (the paper's `Sin` benchmark shape).
+///
+/// Input: 24-bit fraction `x ∈ [0, 1)`. Output: 25 bits approximating
+/// `sin(πx)` in unsigned fixed point with 24 fractional bits, using the
+/// refined parabola
+///
+/// ```text
+/// y = 4·x·(1 − x)          (one 24×24 multiplier)
+/// sin(πx) ≈ y + 0.225·(y − y²)   (a squarer + constant shift-adds)
+/// ```
+///
+/// which is accurate to ~1.4e-3 — and, with its two array multipliers,
+/// lands in the gate-count regime of the paper's 24-bit sine unit.
+///
+/// # Panics
+///
+/// Panics if `x` is not 24 bits wide.
+pub fn sin_poly(b: &mut Builder, x: &[SignalRef]) -> Vec<SignalRef> {
+    assert_eq!(x.len(), 24, "sin takes a 24-bit fraction");
+    // 1 - x ≈ ~x (ones' complement; ≤ 1 ulp short, and 4x(1-x) has zero
+    // slope nowhere it matters).
+    let nx: Vec<SignalRef> = x.iter().map(|&v| b.not(v)).collect();
+    let p = array_multiplier(b, x, &nx); // x(1-x), Q0.48
+    // y = 4·x·(1-x) as Q0.24: < 1.0 strictly since x(~x) < 0.25.
+    let y: Vec<SignalRef> = p[22..46].to_vec();
+
+    let sq = array_multiplier(b, &y, &y); // y², Q0.48
+    let y2: Vec<SignalRef> = sq[24..48].to_vec(); // Q0.24
+    let (t, _) = b.ripple_sub(&y, &y2); // y - y² >= 0
+
+    // 0.225·t by shift-add: 2^-3 + 2^-4 + 2^-5 + 2^-8 + 2^-9 + 2^-12
+    // + 2^-13 = 0.224975.
+    let mut scaled: Vec<SignalRef> = vec![SignalRef::Const0; 24];
+    for shift in [3usize, 4, 5, 8, 9, 12, 13] {
+        let mut term: Vec<SignalRef> = t[shift..].to_vec();
+        term.resize(24, SignalRef::Const0);
+        let (s, _) = b.ripple_add(&scaled, &term, SignalRef::Const0);
+        scaled = s;
+    }
+
+    // result = y + 0.225(y - y²), up to ~1.225 -> Q1.24 (25 bits).
+    let (mut out, carry) = b.ripple_add(&y, &scaled, SignalRef::Const0);
+    out.push(carry);
+    out
+}
+
+/// Reference model for [`sin_poly`]: the same refined parabola in `f64`.
+pub fn sin_poly_reference(x: f64) -> f64 {
+    let y = 4.0 * x * (1.0 - x);
+    y + 0.224975 * (y - y * y)
+}
+
+/// Combinational non-restoring integer square root.
+///
+/// Input: unsigned integer of even width `n`; output: `n/2`-bit
+/// `floor(sqrt(input))`. One controlled add/subtract stage per result
+/// bit — the array structure behind the paper's `Sqrt` benchmark
+/// (128-bit operand, 64-bit root).
+///
+/// # Panics
+///
+/// Panics if the input width is odd or zero.
+pub fn isqrt(b: &mut Builder, x: &[SignalRef]) -> Vec<SignalRef> {
+    let n = x.len();
+    assert!(n > 0 && n % 2 == 0, "isqrt needs an even, positive width");
+    let half = n / 2;
+    let w = half + 4; // two's-complement working width for the remainder
+    let mut r: Vec<SignalRef> = vec![SignalRef::Const0; w];
+    let mut sign = SignalRef::Const0; // r >= 0 initially
+    let mut q: Vec<SignalRef> = Vec::with_capacity(half); // MSB first
+
+    for step in 0..half {
+        let i = half - 1 - step;
+        // shifted = (r << 2) | x[2i+1..2i], truncated to w bits.
+        let mut shifted: Vec<SignalRef> = Vec::with_capacity(w);
+        shifted.push(x[2 * i]);
+        shifted.push(x[2 * i + 1]);
+        shifted.extend_from_slice(&r[..w - 2]);
+
+        // Operand m = (q << 2) | (sign ? 3 : 1); add when r < 0,
+        // subtract when r >= 0. Implemented as shifted + (m ^ sub) + sub
+        // with sub = !sign.
+        let sub = b.not(sign);
+        let mut addend: Vec<SignalRef> = Vec::with_capacity(w);
+        addend.push(sign); // bit0: 1 ^ sub = !sub = sign
+        addend.push(SignalRef::Const1); // bit1: sign ^ sub = 1
+        for j in 2..w {
+            let qi = step as isize - 1 - (j as isize - 2);
+            // q is stored MSB-first: q[k] is result bit half-1-k; the
+            // value (q << 2) has q's LSB (latest bit) at position 2.
+            if qi >= 0 && (qi as usize) < q.len() {
+                addend.push(b.xor(q[qi as usize], sub));
+            } else {
+                addend.push(sub); // 0 ^ sub
+            }
+        }
+        let (next_r, _) = b.ripple_add(&shifted, &addend, sub);
+        sign = next_r[w - 1];
+        let bit = b.not(sign);
+        q.push(bit);
+        r = next_r;
+    }
+
+    q.reverse(); // LSB-first
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdals_netlist::Netlist;
+    use tdals_sim::{simulate, Patterns};
+
+    fn eval_all(n: &Netlist, width_in: usize) -> Vec<u64> {
+        // Exhaustive simulation; returns the output value per vector.
+        let p = Patterns::exhaustive(width_in);
+        let r = simulate(n, &p);
+        (0..p.vector_count())
+            .map(|v| {
+                (0..n.output_count())
+                    .map(|po| u64::from(r.po_word(po, v / 64) >> (v % 64) & 1) << po)
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn carry_select_matches_addition() {
+        let mut b = Builder::new("csa");
+        let a = b.inputs("a", 5);
+        let x = b.inputs("b", 5);
+        let (s, c) = carry_select_add(&mut b, &a, &x, SignalRef::Const0, 2);
+        b.outputs("s", &s);
+        b.output("c", c);
+        let n = b.finish();
+        let outs = eval_all(&n, 10);
+        for av in 0..32u64 {
+            for xv in 0..32u64 {
+                let v = outs[(av + (xv << 5)) as usize];
+                assert_eq!(v, av + xv, "{av}+{xv}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_select_is_larger_but_not_slower_than_ripple() {
+        use tdals_sta::{analyze, TimingConfig};
+        let build = |select: bool| {
+            let mut b = Builder::new("add16");
+            let a = b.inputs("a", 16);
+            let x = b.inputs("b", 16);
+            let (s, c) = if select {
+                carry_select_add(&mut b, &a, &x, SignalRef::Const0, 4)
+            } else {
+                b.ripple_add(&a, &x, SignalRef::Const0)
+            };
+            b.outputs("s", &s);
+            b.output("c", c);
+            b.finish()
+        };
+        let csa = build(true);
+        let rca = build(false);
+        assert!(csa.logic_gate_count() > rca.logic_gate_count());
+        let cfg = TimingConfig::default();
+        let csa_d = analyze(&csa, &cfg).max_depth();
+        let rca_d = analyze(&rca, &cfg).max_depth();
+        assert!(csa_d < rca_d, "carry-select is shallower: {csa_d} vs {rca_d}");
+    }
+
+    #[test]
+    fn multiplier_4x4_exhaustive() {
+        let mut b = Builder::new("mul4");
+        let a = b.inputs("a", 4);
+        let x = b.inputs("b", 4);
+        let p = array_multiplier(&mut b, &a, &x);
+        b.outputs("p", &p);
+        let n = b.finish();
+        let outs = eval_all(&n, 8);
+        for av in 0..16u64 {
+            for xv in 0..16u64 {
+                assert_eq!(outs[(av + (xv << 4)) as usize], av * xv, "{av}*{xv}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_ge_exhaustive() {
+        for width in [1usize, 3, 4] {
+            let mut b = Builder::new("ge");
+            let a = b.inputs("a", width);
+            let x = b.inputs("b", width);
+            let ge = prefix_ge(&mut b, &a, &x);
+            b.output("ge", ge);
+            let n = b.finish();
+            let outs = eval_all(&n, 2 * width);
+            for av in 0..(1u64 << width) {
+                for xv in 0..(1u64 << width) {
+                    let idx = (av + (xv << width)) as usize;
+                    assert_eq!(outs[idx] == 1, av >= xv, "w{width}: {av} >= {xv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max2_exhaustive() {
+        let mut b = Builder::new("max4b");
+        let a = b.inputs("a", 4);
+        let x = b.inputs("b", 4);
+        let m = max2(&mut b, &a, &x);
+        b.outputs("m", &m);
+        let n = b.finish();
+        let outs = eval_all(&n, 8);
+        for av in 0..16u64 {
+            for xv in 0..16u64 {
+                assert_eq!(outs[(av + (xv << 4)) as usize], av.max(xv));
+            }
+        }
+    }
+
+    #[test]
+    fn max4_exhaustive_small() {
+        let mut b = Builder::new("max4x2");
+        let x0 = b.inputs("x0", 2);
+        let x1 = b.inputs("x1", 2);
+        let x2 = b.inputs("x2", 2);
+        let x3 = b.inputs("x3", 2);
+        let m = max4(&mut b, &x0, &x1, &x2, &x3);
+        b.outputs("m", &m);
+        let n = b.finish();
+        let outs = eval_all(&n, 8);
+        for v in 0..256u64 {
+            let xs = [v & 3, v >> 2 & 3, v >> 4 & 3, v >> 6 & 3];
+            assert_eq!(outs[v as usize], *xs.iter().max().expect("4 values"));
+        }
+    }
+
+    #[test]
+    fn int2float_matches_reference() {
+        let mut b = Builder::new("i2f");
+        let v = b.inputs("v", 11);
+        let f = int2float(&mut b, &v);
+        assert_eq!(f.len(), 7);
+        b.outputs("f", &f);
+        let n = b.finish();
+        let outs = eval_all(&n, 11);
+        for v in 0..(1u64 << 11) {
+            assert_eq!(
+                outs[v as usize],
+                u64::from(int2float_reference(v as u32)),
+                "int2float({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn isqrt_8bit_exhaustive() {
+        let mut b = Builder::new("sqrt8");
+        let x = b.inputs("x", 8);
+        let q = isqrt(&mut b, &x);
+        assert_eq!(q.len(), 4);
+        b.outputs("q", &q);
+        let n = b.finish();
+        let outs = eval_all(&n, 8);
+        for v in 0..256u64 {
+            let want = (v as f64).sqrt().floor() as u64;
+            assert_eq!(outs[v as usize], want, "isqrt({v})");
+        }
+    }
+
+    #[test]
+    fn isqrt_12bit_exhaustive() {
+        let mut b = Builder::new("sqrt12");
+        let x = b.inputs("x", 12);
+        let q = isqrt(&mut b, &x);
+        b.outputs("q", &q);
+        let n = b.finish();
+        let outs = eval_all(&n, 12);
+        for v in 0..(1u64 << 12) {
+            let want = (v as f64).sqrt().floor() as u64;
+            assert_eq!(outs[v as usize], want, "isqrt({v})");
+        }
+    }
+
+    #[test]
+    fn sin_poly_tracks_reference() {
+        // Spot-check the 24-bit sine unit on a handful of fractions via
+        // random (not exhaustive) patterns: feed specific values by
+        // building a tiny wrapper with constant inputs is overkill —
+        // instead simulate random vectors and compare per-vector.
+        let mut b = Builder::new("sin");
+        let x = b.inputs("x", 24);
+        let y = sin_poly(&mut b, &x);
+        assert_eq!(y.len(), 25);
+        b.outputs("y", &y);
+        let n = b.finish();
+        let p = Patterns::random(24, 256, 12345);
+        let r = simulate(&n, &p);
+        for v in 0..p.vector_count() {
+            let xv: u64 = (0..24)
+                .map(|i| u64::from(p.bit(i, v)) << i)
+                .sum();
+            let yv: u64 = (0..25)
+                .map(|po| u64::from(r.po_word(po, v / 64) >> (v % 64) & 1) << po)
+                .sum();
+            let x_frac = xv as f64 / (1u64 << 24) as f64;
+            let y_frac = yv as f64 / (1u64 << 24) as f64;
+            let want = sin_poly_reference(x_frac);
+            assert!(
+                (y_frac - want).abs() < 1e-4,
+                "sin({x_frac}) = {y_frac}, want ~{want}"
+            );
+        }
+    }
+}

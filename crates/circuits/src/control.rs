@@ -1,0 +1,394 @@
+//! Control-oriented generators: a parametric ALU, a Hamming SEC/DED
+//! decoder, and an adder/comparator unit — the structured cores of the
+//! paper's random/control benchmarks (ISCAS'85-class circuits).
+
+use tdals_netlist::builder::Builder;
+use tdals_netlist::SignalRef;
+
+/// Outputs of [`alu`].
+#[derive(Debug, Clone)]
+pub struct AluOutputs {
+    /// Result bus, same width as the operands.
+    pub result: Vec<SignalRef>,
+    /// Carry/borrow out of the adder path.
+    pub carry: SignalRef,
+    /// `1` when the result is all zeros.
+    pub zero: SignalRef,
+}
+
+/// Parametric ALU over two `w`-bit operands with a 3-bit opcode —
+/// the datapath shape of c880/c2670/c3540/c5315.
+///
+/// Opcode map (`sel[2] sel[1] sel[0]`):
+///
+/// | op  | function        |
+/// |-----|-----------------|
+/// | 000 | `a + x + cin`   |
+/// | 001 | `a - x`         |
+/// | 010 | `a & x`         |
+/// | 011 | `a \| x`        |
+/// | 100 | `a ^ x`         |
+/// | 101 | `~(a \| x)`     |
+/// | 110 | `a << 1`        |
+/// | 111 | `a`             |
+///
+/// # Panics
+///
+/// Panics if the operand buses differ in width.
+pub fn alu(
+    b: &mut Builder,
+    a: &[SignalRef],
+    x: &[SignalRef],
+    sel: [SignalRef; 3],
+    cin: SignalRef,
+) -> AluOutputs {
+    assert_eq!(a.len(), x.len(), "alu operands must match in width");
+    let w = a.len();
+
+    let (sum, cout) = b.ripple_add(a, x, cin);
+    let (diff, borrow) = b.ripple_sub(a, x);
+    let and_bus: Vec<SignalRef> = a.iter().zip(x).map(|(&p, &q)| b.and(p, q)).collect();
+    let or_bus: Vec<SignalRef> = a.iter().zip(x).map(|(&p, &q)| b.or(p, q)).collect();
+    let xor_bus: Vec<SignalRef> = a.iter().zip(x).map(|(&p, &q)| b.xor(p, q)).collect();
+    let nor_bus: Vec<SignalRef> = a.iter().zip(x).map(|(&p, &q)| b.nor(p, q)).collect();
+    let mut shl: Vec<SignalRef> = vec![SignalRef::Const0];
+    shl.extend_from_slice(&a[..w - 1]);
+    let pass = a.to_vec();
+
+    // 8:1 selection as a mux tree per bit: sel[0] picks within pairs,
+    // sel[1] within quads, sel[2] between halves.
+    let m0 = b.mux_word(sel[0], &sum, &diff);
+    let m1 = b.mux_word(sel[0], &and_bus, &or_bus);
+    let m2 = b.mux_word(sel[0], &xor_bus, &nor_bus);
+    let m3 = b.mux_word(sel[0], &shl, &pass);
+    let lo = b.mux_word(sel[1], &m0, &m1);
+    let hi = b.mux_word(sel[1], &m2, &m3);
+    let result = b.mux_word(sel[2], &lo, &hi);
+
+    let carry = b.mux(sel[0], cout, borrow);
+    let any = b.or_tree(&result);
+    let zero = b.not(any);
+    AluOutputs {
+        result,
+        carry,
+        zero,
+    }
+}
+
+/// Outputs of [`hamming_secded`].
+#[derive(Debug, Clone)]
+pub struct SecDedOutputs {
+    /// Corrected 16-bit data word.
+    pub corrected: Vec<SignalRef>,
+    /// 5-bit Hamming syndrome plus the overall-parity check bit.
+    pub syndrome: Vec<SignalRef>,
+    /// `1` when an uncorrectable double error is detected.
+    pub double_error: SignalRef,
+}
+
+/// Position (1-based, in the 21-bit Hamming codeword) of data bit `d`.
+///
+/// Power-of-two positions hold check bits; data fills the rest in order.
+fn data_position(d: usize) -> usize {
+    let mut pos = 1usize;
+    let mut remaining = d;
+    loop {
+        if !pos.is_power_of_two() {
+            if remaining == 0 {
+                return pos;
+            }
+            remaining -= 1;
+        }
+        pos += 1;
+    }
+}
+
+/// Computes the five Hamming check bits plus overall parity for a
+/// 16-bit data word (the encoder half of SEC/DED; used by tests and the
+/// c1908 benchmark to feed itself consistent codewords).
+///
+/// # Panics
+///
+/// Panics if `data` is not 16 bits.
+pub fn hamming_encode(b: &mut Builder, data: &[SignalRef]) -> Vec<SignalRef> {
+    assert_eq!(data.len(), 16, "SEC/DED encodes 16 data bits");
+    let mut checks = Vec::with_capacity(6);
+    for c in 0..5usize {
+        let members: Vec<SignalRef> = (0..16)
+            .filter(|&d| data_position(d) >> c & 1 == 1)
+            .map(|d| data[d])
+            .collect();
+        checks.push(b.xor_tree(&members));
+    }
+    // Overall parity across data + the five check bits.
+    let mut all: Vec<SignalRef> = data.to_vec();
+    all.extend_from_slice(&checks);
+    checks.push(b.xor_tree(&all));
+    checks
+}
+
+/// Hamming(21,16) single-error-correct / double-error-detect decoder —
+/// the function of the c1908 benchmark ("16-bit SEC/DED circuit").
+///
+/// # Panics
+///
+/// Panics if `data` is not 16 bits or `checks` is not 6 bits.
+pub fn hamming_secded(
+    b: &mut Builder,
+    data: &[SignalRef],
+    checks: &[SignalRef],
+) -> SecDedOutputs {
+    assert_eq!(data.len(), 16, "SEC/DED decodes 16 data bits");
+    assert_eq!(checks.len(), 6, "SEC/DED uses 5 check bits + parity");
+    // Hamming syndrome: recomputed check bits vs the received ones.
+    let recomputed = hamming_encode(b, data);
+    let mut syndrome: Vec<SignalRef> = recomputed[..5]
+        .iter()
+        .zip(&checks[..5])
+        .map(|(&r, &c)| b.xor(r, c))
+        .collect();
+    // Overall parity over the *received* codeword (data + all checks):
+    // trips on any odd number of bit flips.
+    let mut received: Vec<SignalRef> = data.to_vec();
+    received.extend_from_slice(checks);
+    let parity_err = b.xor_tree(&received);
+    syndrome.push(parity_err);
+    let any_syndrome = b.or_tree(&syndrome[..5]);
+
+    // Single correctable error: syndrome non-zero and overall parity
+    // trips. Double error: syndrome non-zero but parity consistent.
+    let notp = b.not(parity_err);
+    let double_error = b.and(any_syndrome, notp);
+    let correct_en = b.and(any_syndrome, parity_err);
+
+    // Flip data bit d when the syndrome equals its codeword position.
+    let mut corrected = Vec::with_capacity(16);
+    for d in 0..16 {
+        let pos = data_position(d);
+        let mut terms = Vec::with_capacity(5);
+        for (c, &s) in syndrome[..5].iter().enumerate() {
+            terms.push(if pos >> c & 1 == 1 { s } else { b.not(s) });
+        }
+        let hit = b.and_tree(&terms);
+        let flip = b.and(hit, correct_en);
+        corrected.push(b.xor(data[d], flip));
+    }
+    SecDedOutputs {
+        corrected,
+        syndrome,
+        double_error,
+    }
+}
+
+/// Outputs of [`add_compare`].
+#[derive(Debug, Clone)]
+pub struct AddCompareOutputs {
+    /// Sum bus (`w` bits).
+    pub sum: Vec<SignalRef>,
+    /// Adder carry out.
+    pub carry: SignalRef,
+    /// `a == x`.
+    pub eq: SignalRef,
+    /// `a > x` (unsigned).
+    pub gt: SignalRef,
+    /// `a < x` (unsigned).
+    pub lt: SignalRef,
+}
+
+/// Combined adder and magnitude comparator — the arithmetic heart of the
+/// c7552 benchmark ("32-bit adder/comparator").
+///
+/// # Panics
+///
+/// Panics if the buses differ in width.
+pub fn add_compare(
+    b: &mut Builder,
+    a: &[SignalRef],
+    x: &[SignalRef],
+    cin: SignalRef,
+) -> AddCompareOutputs {
+    assert_eq!(a.len(), x.len(), "operands must match in width");
+    let (sum, carry) = crate::arith::carry_select_add(b, a, x, cin, 4);
+    let diffs: Vec<SignalRef> = a.iter().zip(x).map(|(&p, &q)| b.xor(p, q)).collect();
+    let any_diff = b.or_tree(&diffs);
+    let eq = b.not(any_diff);
+    let ge = b.ge(a, x);
+    let gt = b.and(ge, any_diff);
+    let nge = b.not(ge);
+    let lt = nge;
+    AddCompareOutputs {
+        sum,
+        carry,
+        eq,
+        gt,
+        lt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdals_netlist::Netlist;
+    use tdals_sim::{simulate, Patterns};
+
+    fn output_values(n: &Netlist, width_in: usize) -> Vec<Vec<bool>> {
+        let p = Patterns::exhaustive(width_in);
+        let r = simulate(n, &p);
+        (0..p.vector_count())
+            .map(|v| {
+                (0..n.output_count())
+                    .map(|po| r.po_word(po, v / 64) >> (v % 64) & 1 == 1)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| u64::from(b) << i)
+            .sum()
+    }
+
+    #[test]
+    fn alu_all_ops_width3() {
+        let mut b = Builder::new("alu3");
+        let a = b.inputs("a", 3);
+        let x = b.inputs("x", 3);
+        let s0 = b.input("s0");
+        let s1 = b.input("s1");
+        let s2 = b.input("s2");
+        let out = alu(&mut b, &a, &x, [s0, s1, s2], SignalRef::Const0);
+        b.outputs("r", &out.result);
+        b.output("carry", out.carry);
+        b.output("zero", out.zero);
+        let n = b.finish();
+        let outs = output_values(&n, 9);
+        for v in 0..512usize {
+            let av = (v & 7) as u64;
+            let xv = (v >> 3 & 7) as u64;
+            let op = v >> 6 & 7;
+            let bits = &outs[v];
+            let r = from_bits(&bits[0..3]);
+            let want = match op {
+                0 => (av + xv) & 7,
+                1 => av.wrapping_sub(xv) & 7,
+                2 => av & xv,
+                3 => av | xv,
+                4 => av ^ xv,
+                5 => !(av | xv) & 7,
+                6 => (av << 1) & 7,
+                _ => av,
+            };
+            assert_eq!(r, want, "op {op} a={av} x={xv}");
+            assert_eq!(bits[4], r == 0, "zero flag");
+            if op == 0 {
+                assert_eq!(bits[3], av + xv > 7, "carry");
+            }
+            if op == 1 {
+                assert_eq!(bits[3], av < xv, "borrow");
+            }
+        }
+    }
+
+    #[test]
+    fn secded_corrects_single_data_errors() {
+        // Encode a data word, flip one data bit, decode.
+        let mut b = Builder::new("secded");
+        let data = b.inputs("d", 8); // 8 free bits; upper 8 tied to 0
+        let mut word: Vec<SignalRef> = data.clone();
+        word.extend(vec![SignalRef::Const0; 8]);
+        let checks = hamming_encode(&mut b, &word);
+        // Flip data bit 3 unconditionally.
+        let flipped: Vec<SignalRef> = word
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| if i == 3 { b.not(d) } else { d })
+            .collect();
+        let dec = hamming_secded(&mut b, &flipped, &checks);
+        b.outputs("c", &dec.corrected);
+        b.output("derr", dec.double_error);
+        let n = b.finish();
+        let outs = output_values(&n, 8);
+        for v in 0..256usize {
+            let bits = &outs[v];
+            let corrected = from_bits(&bits[0..16]);
+            assert_eq!(corrected, v as u64, "corrects bit-3 flip of {v}");
+            assert!(!bits[16], "single error is not a double error");
+        }
+    }
+
+    #[test]
+    fn secded_flags_double_errors() {
+        let mut b = Builder::new("secded2");
+        let data = b.inputs("d", 6);
+        let mut word: Vec<SignalRef> = data.clone();
+        word.extend(vec![SignalRef::Const0; 10]);
+        let checks = hamming_encode(&mut b, &word);
+        let flipped: Vec<SignalRef> = word
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                if i == 2 || i == 9 {
+                    b.not(d)
+                } else {
+                    d
+                }
+            })
+            .collect();
+        let dec = hamming_secded(&mut b, &flipped, &checks);
+        b.output("derr", dec.double_error);
+        let n = b.finish();
+        let outs = output_values(&n, 6);
+        for bits in outs {
+            assert!(bits[0], "two flips must raise double_error");
+        }
+    }
+
+    #[test]
+    fn clean_codeword_passes_through() {
+        let mut b = Builder::new("secded0");
+        let data = b.inputs("d", 8);
+        let mut word: Vec<SignalRef> = data.clone();
+        word.extend(vec![SignalRef::Const0; 8]);
+        let checks = hamming_encode(&mut b, &word);
+        let dec = hamming_secded(&mut b, &word, &checks);
+        b.outputs("c", &dec.corrected);
+        b.output("derr", dec.double_error);
+        let syn = dec.syndrome.clone();
+        b.outputs("s", &syn);
+        let n = b.finish();
+        let outs = output_values(&n, 8);
+        for v in 0..256usize {
+            let bits = &outs[v];
+            assert_eq!(from_bits(&bits[0..16]), v as u64);
+            assert!(!bits[16], "no double error");
+            assert!(bits[17..23].iter().all(|&s| !s), "zero syndrome");
+        }
+    }
+
+    #[test]
+    fn add_compare_exhaustive_4bit() {
+        let mut b = Builder::new("addcmp");
+        let a = b.inputs("a", 4);
+        let x = b.inputs("x", 4);
+        let out = add_compare(&mut b, &a, &x, SignalRef::Const0);
+        b.outputs("s", &out.sum);
+        b.output("c", out.carry);
+        b.output("eq", out.eq);
+        b.output("gt", out.gt);
+        b.output("lt", out.lt);
+        let n = b.finish();
+        let outs = output_values(&n, 8);
+        for v in 0..256usize {
+            let av = (v & 15) as u64;
+            let xv = (v >> 4) as u64;
+            let bits = &outs[v];
+            assert_eq!(from_bits(&bits[0..4]), (av + xv) & 15);
+            assert_eq!(bits[4], av + xv > 15, "carry");
+            assert_eq!(bits[5], av == xv, "eq");
+            assert_eq!(bits[6], av > xv, "gt");
+            assert_eq!(bits[7], av < xv, "lt");
+        }
+    }
+}

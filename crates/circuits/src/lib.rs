@@ -1,0 +1,32 @@
+//! # tdals-circuits
+//!
+//! Programmatic regeneration of the paper's benchmark suite (TABLE I) —
+//! the workspace's substitute for "synthesized by Design Compiler under
+//! TSMC 28nm technology" applied to ISCAS'85 and EPFL sources.
+//!
+//! [`Benchmark`] enumerates all fifteen circuits with their paper
+//! metadata; [`arith`], [`control`] and [`random_logic`] expose the
+//! underlying generators (adders, multipliers, max units, ALUs, SEC/DED,
+//! seeded random control logic) for building custom workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdals_circuits::{Benchmark, CircuitClass};
+//!
+//! let netlist = Benchmark::Max16.build();
+//! assert_eq!(netlist.input_count(), 32);
+//! assert_eq!(Benchmark::Max16.class(), CircuitClass::Arithmetic);
+//! assert!(netlist.logic_gate_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arith;
+mod benchmarks;
+pub mod control;
+pub mod random_logic;
+pub mod synthesis;
+
+pub use benchmarks::{Benchmark, CircuitClass, ALL_BENCHMARKS};

@@ -1,0 +1,286 @@
+//! Circuit fitness evaluation (Eq. 8 of the paper) and the evaluated
+//! candidate representation shared by all optimizers.
+
+use tdals_netlist::Netlist;
+use tdals_sim::{ErrorEvaluator, ErrorMetric, Patterns, SimResult};
+use tdals_sta::{analyze, TimingConfig, TimingReport};
+
+/// An approximate circuit together with every quantity the optimizers
+/// need: depth, critical-path delay, live area, error, and the per-PO
+/// timing/error vectors feeding the reproduction `Level` function.
+///
+/// Construction goes through [`EvalContext::evaluate`], which runs STA
+/// and Monte-Carlo simulation once per candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The approximate netlist.
+    pub netlist: Netlist,
+    /// Maximum logic depth over POs (`Depth_app`).
+    pub depth: u32,
+    /// Critical path delay in ps.
+    pub cpd: f64,
+    /// Live (non-dangling) area in µm² (`Area_app`).
+    pub area: f64,
+    /// Error vs the accurate circuit under the configured metric.
+    pub error: f64,
+    /// Depth objective `f_d = Depth_ori / Depth_app` (maximize).
+    pub fd: f64,
+    /// Area objective `f_a = Area_ori / Area_app` (maximize).
+    pub fa: f64,
+    /// Scalar fitness `Fit = wd·f_d + wa·f_a` (Eq. 8).
+    pub fitness: f64,
+    /// Arrival time per PO in ps (`Ta` in Eq. 3).
+    pub po_arrivals: Vec<f64>,
+    /// Error contribution per PO (`Error` in Eq. 3).
+    pub po_errors: Vec<f64>,
+}
+
+/// Shared evaluation context: the accurate circuit's reference numbers,
+/// the Monte-Carlo error evaluator, and the timing configuration.
+///
+/// # Examples
+///
+/// ```
+/// use tdals_circuits::Benchmark;
+/// use tdals_core::EvalContext;
+/// use tdals_sim::{ErrorMetric, Patterns};
+/// use tdals_sta::TimingConfig;
+///
+/// let accurate = Benchmark::Max16.build();
+/// let ctx = EvalContext::new(
+///     &accurate,
+///     Patterns::random(32, 2048, 1),
+///     ErrorMetric::Nmed,
+///     TimingConfig::default(),
+///     0.8,
+/// );
+/// let cand = ctx.evaluate(accurate.clone());
+/// assert_eq!(cand.error, 0.0);
+/// assert!((cand.fitness - 1.0).abs() < 1e-9); // fd = fa = 1 for itself
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    accurate: Netlist,
+    evaluator: ErrorEvaluator,
+    timing: TimingConfig,
+    depth_weight: f64,
+    depth_ori: u32,
+    area_ori: f64,
+    cpd_ori: f64,
+}
+
+impl EvalContext {
+    /// Builds a context around the accurate circuit.
+    ///
+    /// `depth_weight` is `wd` of Eq. 8 (`wa = 1 − wd`); the paper's
+    /// calibrated value is 0.8 (Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth_weight` is outside `[0, 1]`.
+    pub fn new(
+        accurate: &Netlist,
+        patterns: Patterns,
+        metric: ErrorMetric,
+        timing: TimingConfig,
+        depth_weight: f64,
+    ) -> EvalContext {
+        assert!(
+            (0.0..=1.0).contains(&depth_weight),
+            "depth weight must be in [0, 1]"
+        );
+        let report = analyze(accurate, &timing);
+        EvalContext {
+            accurate: accurate.clone(),
+            evaluator: ErrorEvaluator::new(accurate, patterns, metric),
+            timing,
+            depth_weight,
+            depth_ori: report.max_depth().max(1),
+            area_ori: accurate.area_live(),
+            cpd_ori: report.critical_path_delay(),
+        }
+    }
+
+    /// The accurate reference circuit.
+    pub fn accurate(&self) -> &Netlist {
+        &self.accurate
+    }
+
+    /// Accurate circuit's maximum logic depth (`Depth_ori`).
+    pub fn depth_ori(&self) -> u32 {
+        self.depth_ori
+    }
+
+    /// Accurate circuit's live area in µm² (`Area_ori`).
+    pub fn area_ori(&self) -> f64 {
+        self.area_ori
+    }
+
+    /// Accurate circuit's critical path delay in ps (`CPD_ori`).
+    pub fn cpd_ori(&self) -> f64 {
+        self.cpd_ori
+    }
+
+    /// Depth weight `wd` of the fitness function.
+    pub fn depth_weight(&self) -> f64 {
+        self.depth_weight
+    }
+
+    /// Error metric in force.
+    pub fn metric(&self) -> ErrorMetric {
+        self.evaluator.metric()
+    }
+
+    /// Timing configuration used for every STA call.
+    pub fn timing(&self) -> &TimingConfig {
+        &self.timing
+    }
+
+    /// The underlying Monte-Carlo evaluator (golden simulation included).
+    pub fn evaluator(&self) -> &ErrorEvaluator {
+        &self.evaluator
+    }
+
+    /// Simulates a netlist on the shared stimulus (used by circuit
+    /// searching to score switch-gate similarities).
+    pub fn simulate(&self, netlist: &Netlist) -> SimResult {
+        self.evaluator.simulate(netlist)
+    }
+
+    /// Runs STA on a netlist with the shared configuration.
+    pub fn analyze(&self, netlist: &Netlist) -> TimingReport {
+        analyze(netlist, &self.timing)
+    }
+
+    /// Fully evaluates an approximate netlist into a [`Candidate`].
+    pub fn evaluate(&self, netlist: Netlist) -> Candidate {
+        let report = analyze(&netlist, &self.timing);
+        let sim = self.evaluator.simulate(&netlist);
+        self.evaluate_with(netlist, &report, &sim)
+    }
+
+    /// Evaluates a netlist when STA and simulation results are already
+    /// available (exposed so optimizers can reuse intermediate work; see
+    /// C-INTERMEDIATE).
+    pub fn evaluate_with(
+        &self,
+        netlist: Netlist,
+        report: &TimingReport,
+        sim: &SimResult,
+    ) -> Candidate {
+        let error = self.evaluator.error_of_sim(sim);
+        let po_errors = self.evaluator.po_errors_of_sim(sim);
+        let depth = report.max_depth();
+        let area = netlist.area_live();
+        let fd = f64::from(self.depth_ori) / f64::from(depth.max(1));
+        let fa = self.area_ori / area.max(1e-9);
+        let fitness = self.depth_weight * fd + (1.0 - self.depth_weight) * fa;
+        Candidate {
+            depth,
+            cpd: report.critical_path_delay(),
+            area,
+            error,
+            fd,
+            fa,
+            fitness,
+            po_arrivals: report.po_arrivals().to_vec(),
+            po_errors,
+            netlist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdals_netlist::builder::Builder;
+    use tdals_netlist::SignalRef;
+
+    fn small_adder() -> Netlist {
+        let mut b = Builder::new("add4");
+        let a = b.inputs("a", 4);
+        let x = b.inputs("b", 4);
+        let (s, c) = b.ripple_add(&a, &x, SignalRef::Const0);
+        b.outputs("s", &s);
+        b.output("c", c);
+        b.finish()
+    }
+
+    fn ctx(metric: ErrorMetric, wd: f64) -> (Netlist, EvalContext) {
+        let n = small_adder();
+        let ctx = EvalContext::new(
+            &n,
+            Patterns::exhaustive(8),
+            metric,
+            TimingConfig::default(),
+            wd,
+        );
+        (n, ctx)
+    }
+
+    #[test]
+    fn accurate_circuit_scores_unity() {
+        let (n, ctx) = ctx(ErrorMetric::ErrorRate, 0.8);
+        let c = ctx.evaluate(n);
+        assert_eq!(c.error, 0.0);
+        assert!((c.fd - 1.0).abs() < 1e-12);
+        assert!((c.fa - 1.0).abs() < 1e-12);
+        assert!((c.fitness - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lac_improves_fitness_and_adds_error() {
+        let (n, ctx) = ctx(ErrorMetric::ErrorRate, 0.8);
+        let mut approx = n.clone();
+        // Kill the last carry gate: shortens the critical path.
+        let report = ctx.analyze(&approx);
+        let path = tdals_sta::critical_path(&approx, &report);
+        let target = *path.last().expect("non-empty critical path");
+        approx.substitute(target, SignalRef::Const0).expect("lac");
+        let c = ctx.evaluate(approx);
+        assert!(c.fitness > 1.0, "fitness {} should exceed 1", c.fitness);
+        assert!(c.error > 0.0);
+        assert!(c.fd >= 1.0);
+        assert!(c.fa > 1.0);
+    }
+
+    #[test]
+    fn depth_weight_shifts_fitness() {
+        let (n, ctx_d) = ctx(ErrorMetric::ErrorRate, 1.0);
+        let ctx_a = EvalContext::new(
+            &n,
+            Patterns::exhaustive(8),
+            ErrorMetric::ErrorRate,
+            TimingConfig::default(),
+            0.0,
+        );
+        let mut approx = n.clone();
+        // Remove a non-critical gate: area improves, depth does not.
+        let s0 = approx.find_gate("u1").expect("first gate");
+        approx.substitute(s0, SignalRef::Const0).expect("lac");
+        let cd = ctx_d.evaluate(approx.clone());
+        let ca = ctx_a.evaluate(approx);
+        assert!(ca.fitness > cd.fitness, "area-weighted sees the gain");
+    }
+
+    #[test]
+    fn po_vectors_have_output_arity() {
+        let (n, ctx) = ctx(ErrorMetric::Nmed, 0.8);
+        let c = ctx.evaluate(n.clone());
+        assert_eq!(c.po_arrivals.len(), n.output_count());
+        assert_eq!(c.po_errors.len(), n.output_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "depth weight")]
+    fn rejects_bad_depth_weight() {
+        let n = small_adder();
+        let _ = EvalContext::new(
+            &n,
+            Patterns::exhaustive(8),
+            ErrorMetric::ErrorRate,
+            TimingConfig::default(),
+            1.5,
+        );
+    }
+}

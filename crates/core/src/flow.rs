@@ -1,0 +1,200 @@
+//! The end-to-end timing-driven ALS flow of Fig. 2: circuit
+//! representation → DCGWO → post-optimization, producing the final
+//! approximate netlist and its `Ratio_cpd = CPD_fac / CPD_ori`.
+
+use std::time::Instant;
+
+use tdals_netlist::Netlist;
+use tdals_sim::{ErrorMetric, Patterns};
+use tdals_sta::TimingConfig;
+
+use crate::dcgwo::{optimize, OptimizerConfig, OptimizerResult};
+use crate::fitness::EvalContext;
+use crate::postopt::{post_optimize, PostOptConfig, PostOptReport};
+
+/// Everything needed to run the flow on one circuit.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Error metric (ER for random/control, NMED for arithmetic).
+    pub metric: ErrorMetric,
+    /// User error budget under that metric.
+    pub error_bound: f64,
+    /// Monte-Carlo vectors per evaluation.
+    pub vectors: usize,
+    /// Stimulus seed.
+    pub pattern_seed: u64,
+    /// Depth weight `wd` of the fitness (Eq. 8); the paper uses 0.8.
+    pub depth_weight: f64,
+    /// Optimizer parameters.
+    pub optimizer: OptimizerConfig,
+    /// Area constraint for post-optimization; `None` means the accurate
+    /// circuit's area (the TABLE II/III setting).
+    pub area_con: Option<f64>,
+    /// Timing parasitics.
+    pub timing: TimingConfig,
+}
+
+impl FlowConfig {
+    /// The paper's configuration for a given metric and error bound
+    /// (`we` = 0.1 under ER, 0.2 under NMED).
+    pub fn paper_defaults(metric: ErrorMetric, error_bound: f64) -> FlowConfig {
+        let mut optimizer = OptimizerConfig::default();
+        optimizer.level_we = match metric {
+            ErrorMetric::ErrorRate => 0.1,
+            ErrorMetric::Nmed => 0.2,
+        };
+        FlowConfig {
+            metric,
+            error_bound,
+            vectors: 4096,
+            pattern_seed: 0x7DA15,
+            depth_weight: 0.8,
+            optimizer,
+            area_con: None,
+            timing: TimingConfig::default(),
+        }
+    }
+}
+
+/// Result of one flow run.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Final approximate netlist (post-optimized).
+    pub netlist: Netlist,
+    /// Accurate circuit CPD, ps.
+    pub cpd_ori: f64,
+    /// Final approximate CPD (`CPD_fac`), ps.
+    pub cpd_fac: f64,
+    /// `Ratio_cpd = CPD_fac / CPD_ori` (lower is better).
+    pub ratio_cpd: f64,
+    /// Final measured error (always within the bound).
+    pub error: f64,
+    /// Final live area, µm².
+    pub area: f64,
+    /// Area constraint that was enforced.
+    pub area_con: f64,
+    /// Optimizer outcome (population, history) for analysis.
+    pub optimizer: OptimizerResult,
+    /// Post-optimization details.
+    pub post_opt: PostOptReport,
+    /// Wall-clock runtime of the whole flow in seconds.
+    pub runtime_s: f64,
+}
+
+/// Runs the complete flow on an accurate circuit.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tdals_circuits::Benchmark;
+/// use tdals_core::{run_flow, FlowConfig};
+/// use tdals_sim::ErrorMetric;
+///
+/// let accurate = Benchmark::Max16.build();
+/// let cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
+/// let result = run_flow(&accurate, &cfg);
+/// assert!(result.ratio_cpd <= 1.0);
+/// assert!(result.error <= 0.0244);
+/// ```
+pub fn run_flow(accurate: &Netlist, cfg: &FlowConfig) -> FlowResult {
+    let start = Instant::now();
+    let patterns = Patterns::random(accurate.input_count(), cfg.vectors, cfg.pattern_seed);
+    let ctx = EvalContext::new(
+        accurate,
+        patterns,
+        cfg.metric,
+        cfg.timing,
+        cfg.depth_weight,
+    );
+    let optimizer = optimize(&ctx, cfg.error_bound, &cfg.optimizer);
+
+    let mut netlist = optimizer.best.netlist.clone();
+    let area_con = cfg.area_con.unwrap_or_else(|| ctx.area_ori());
+    let post_opt = post_optimize(&mut netlist, &cfg.timing, &PostOptConfig::new(area_con));
+
+    let cpd_ori = ctx.cpd_ori();
+    let cpd_fac = post_opt.cpd_final;
+    // Error is invariant under post-optimization (sweep + sizing are
+    // function-preserving), but re-measure for the report.
+    let error = ctx.evaluator().error_of(&netlist);
+    FlowResult {
+        cpd_ori,
+        cpd_fac,
+        ratio_cpd: cpd_fac / cpd_ori.max(1e-9),
+        error,
+        area: netlist.area_live(),
+        area_con,
+        optimizer,
+        post_opt,
+        runtime_s: start.elapsed().as_secs_f64(),
+        netlist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcgwo::ChaseStrategy;
+    use tdals_netlist::builder::Builder;
+    use tdals_netlist::SignalRef;
+
+    fn adder() -> Netlist {
+        let mut b = Builder::new("add6");
+        let a = b.inputs("a", 6);
+        let x = b.inputs("b", 6);
+        let (s, c) = b.ripple_add(&a, &x, SignalRef::Const0);
+        b.outputs("s", &s);
+        b.output("c", c);
+        b.finish()
+    }
+
+    fn quick_cfg(metric: ErrorMetric, bound: f64) -> FlowConfig {
+        let mut cfg = FlowConfig::paper_defaults(metric, bound);
+        cfg.vectors = 1024;
+        cfg.optimizer.population = 8;
+        cfg.optimizer.iterations = 6;
+        cfg
+    }
+
+    #[test]
+    fn flow_improves_cpd_within_error_budget() {
+        let n = adder();
+        let cfg = quick_cfg(ErrorMetric::ErrorRate, 0.08);
+        let result = run_flow(&n, &cfg);
+        assert!(result.error <= 0.08 + 1e-12);
+        assert!(result.ratio_cpd <= 1.0 + 1e-9, "ratio {}", result.ratio_cpd);
+        assert!(result.area <= result.area_con + 1e-9);
+        result.netlist.check_invariants().expect("valid final netlist");
+    }
+
+    #[test]
+    fn flow_under_nmed() {
+        let n = adder();
+        let cfg = quick_cfg(ErrorMetric::Nmed, 0.02);
+        let result = run_flow(&n, &cfg);
+        assert!(result.error <= 0.02 + 1e-12);
+        assert!(result.ratio_cpd <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_chase_flow_runs() {
+        let n = adder();
+        let mut cfg = quick_cfg(ErrorMetric::ErrorRate, 0.08);
+        cfg.optimizer.chase = ChaseStrategy::SingleChase;
+        let result = run_flow(&n, &cfg);
+        assert!(result.error <= 0.08 + 1e-12);
+    }
+
+    #[test]
+    fn looser_budget_is_at_least_as_good() {
+        let n = adder();
+        let tight = run_flow(&n, &quick_cfg(ErrorMetric::ErrorRate, 0.01));
+        let loose = run_flow(&n, &quick_cfg(ErrorMetric::ErrorRate, 0.20));
+        assert!(
+            loose.ratio_cpd <= tight.ratio_cpd + 0.05,
+            "loose {} vs tight {}",
+            loose.ratio_cpd,
+            tight.ratio_cpd
+        );
+    }
+}

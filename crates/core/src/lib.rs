@@ -1,0 +1,63 @@
+//! # tdals-core
+//!
+//! The primary contribution of *"Timing-driven Approximate Logic
+//! Synthesis Based on Double-chase Grey Wolf Optimizer"* (DATE 2025):
+//! a timing-driven ALS framework that explores local approximate
+//! changes (LACs) with a double-chase grey wolf optimizer and converts
+//! the resulting area savings into drive strength — and hence critical
+//! path delay — via post-optimization.
+//!
+//! The flow (Fig. 2 of the paper):
+//!
+//! 1. **Circuit representation** — gate fan-in adjacency netlists
+//!    (provided by [`tdals_netlist`]);
+//! 2. **DCGWO** ([`optimize`]) — population-based exploration of
+//!    wire-by-wire / wire-by-constant LACs ([`Lac`]) with circuit
+//!    searching ([`search_step`]) and circuit reproduction
+//!    ([`reproduce`]) actions, fitness per Eq. 8 ([`EvalContext`]),
+//!    NSGA-II-style population update ([`pareto`]) and asymptotic error
+//!    constraint relaxation ([`ErrorSchedule`]);
+//! 3. **Post-optimization** ([`post_optimize`]) — dangling-gate
+//!    deletion and greedy gate re-sizing under an area constraint.
+//!
+//! [`run_flow`] glues the three steps together and reports the paper's
+//! headline metric `Ratio_cpd = CPD_fac / CPD_ori`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdals_circuits::Benchmark;
+//! use tdals_core::{run_flow, FlowConfig};
+//! use tdals_sim::ErrorMetric;
+//!
+//! let accurate = Benchmark::Int2float.build();
+//! let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
+//! cfg.vectors = 1024;               // quick demo settings
+//! cfg.optimizer.population = 8;
+//! cfg.optimizer.iterations = 4;
+//! let result = run_flow(&accurate, &cfg);
+//! assert!(result.error <= 0.0244);
+//! assert!(result.ratio_cpd <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dcgwo;
+mod fitness;
+mod flow;
+mod lac;
+pub mod pareto;
+mod postopt;
+mod reproduce;
+mod schedule;
+mod search;
+
+pub use dcgwo::{optimize, ChaseStrategy, IterationStats, OptimizerConfig, OptimizerResult};
+pub use fitness::{Candidate, EvalContext};
+pub use flow::{run_flow, FlowConfig, FlowResult};
+pub use lac::{collect_targets, random_lac, select_switch, Lac};
+pub use postopt::{post_optimize, PostOptConfig, PostOptReport};
+pub use reproduce::{reproduce, LevelWeights};
+pub use schedule::ErrorSchedule;
+pub use search::{search_step, SearchConfig};

@@ -1,0 +1,125 @@
+//! Asymptotic error constraint relaxation (§III-B).
+//!
+//! The population update does not admit the full user error budget from
+//! iteration 0; instead the constraint follows the quadratic schedule
+//! `Error_cons(iter) = b·iter² + Error⁰_cons`, reaching the user bound
+//! exactly at `Imax`. This keeps the population from rushing to the
+//! error boundary and stalling in a local optimum.
+
+/// Quadratic error-constraint schedule.
+///
+/// # Examples
+///
+/// ```
+/// use tdals_core::ErrorSchedule;
+///
+/// let sched = ErrorSchedule::new(0.05, 0.25, 20);
+/// assert!((sched.bound_at(0) - 0.0125).abs() < 1e-12); // 25% of 5%
+/// assert!((sched.bound_at(20) - 0.05).abs() < 1e-12);  // full budget
+/// assert!(sched.bound_at(10) < sched.bound_at(15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSchedule {
+    initial: f64,
+    coefficient: f64,
+    max_bound: f64,
+    max_iterations: usize,
+}
+
+impl ErrorSchedule {
+    /// Creates a schedule that starts at `initial_fraction × max_bound`
+    /// and relaxes quadratically to `max_bound` at `horizon` iterations
+    /// (clamping there for any remaining iterations). The paper sets the
+    /// quadratic coefficient `b` "empirically"; reaching the full budget
+    /// before `Imax` leaves iterations to exploit it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bound` is negative, `initial_fraction` is outside
+    /// `[0, 1]`, or `horizon` is zero.
+    pub fn with_horizon(
+        max_bound: f64,
+        initial_fraction: f64,
+        horizon: usize,
+    ) -> ErrorSchedule {
+        ErrorSchedule::new(max_bound, initial_fraction, horizon)
+    }
+
+    /// Creates a schedule that starts at `initial_fraction × max_bound`
+    /// and relaxes quadratically to `max_bound` at `max_iterations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bound` is negative, `initial_fraction` is outside
+    /// `[0, 1]`, or `max_iterations` is zero.
+    pub fn new(max_bound: f64, initial_fraction: f64, max_iterations: usize) -> ErrorSchedule {
+        assert!(max_bound >= 0.0, "error bound must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&initial_fraction),
+            "initial fraction must be in [0, 1]"
+        );
+        assert!(max_iterations > 0, "need at least one iteration");
+        let initial = max_bound * initial_fraction;
+        let coefficient = (max_bound - initial) / (max_iterations as f64).powi(2);
+        ErrorSchedule {
+            initial,
+            coefficient,
+            max_bound,
+            max_iterations,
+        }
+    }
+
+    /// Constraint in force at iteration `iter` (clamped to the user
+    /// bound past `Imax`).
+    pub fn bound_at(&self, iter: usize) -> f64 {
+        let it = iter.min(self.max_iterations) as f64;
+        (self.coefficient * it * it + self.initial).min(self.max_bound)
+    }
+
+    /// The user's final error budget.
+    pub fn max_bound(&self) -> f64 {
+        self.max_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_and_bounded() {
+        let s = ErrorSchedule::new(0.05, 0.25, 20);
+        let mut prev = -1.0;
+        for iter in 0..=25 {
+            let b = s.bound_at(iter);
+            assert!(b >= prev, "monotone at {iter}");
+            assert!(b <= 0.05 + 1e-15, "bounded at {iter}");
+            prev = b;
+        }
+        assert_eq!(s.bound_at(25), 0.05, "clamped past Imax");
+    }
+
+    #[test]
+    fn quadratic_shape() {
+        // Early iterations relax slower than late ones.
+        let s = ErrorSchedule::new(0.1, 0.0, 10);
+        let early = s.bound_at(2) - s.bound_at(1);
+        let late = s.bound_at(9) - s.bound_at(8);
+        assert!(late > early * 2.0, "quadratic growth accelerates");
+    }
+
+    #[test]
+    fn zero_fraction_starts_at_zero() {
+        let s = ErrorSchedule::new(0.05, 0.0, 20);
+        assert_eq!(s.bound_at(0), 0.0);
+        assert_eq!(s.bound_at(20), 0.05);
+    }
+
+    #[test]
+    fn full_fraction_is_constant() {
+        let s = ErrorSchedule::new(0.05, 1.0, 20);
+        for iter in 0..=20 {
+            assert!((s.bound_at(iter) - 0.05).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types for netlist construction, mutation, and parsing.
+
+use std::fmt;
+
+use crate::cell::Cell;
+use crate::netlist::GateId;
+
+/// Error produced by netlist construction or mutation.
+///
+/// # Examples
+///
+/// ```
+/// use tdals_netlist::{Netlist, NetlistError};
+/// use tdals_netlist::cell::{Cell, CellFunc, Drive};
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let err = n
+///     .add_gate("u", Cell::new(CellFunc::And2, Drive::X1), vec![a.into()])
+///     .unwrap_err();
+/// assert!(matches!(err, NetlistError::ArityMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A gate was given a number of fan-ins different from its cell arity.
+    ArityMismatch {
+        /// Gate being constructed or edited.
+        gate: GateId,
+        /// Cell whose arity was violated.
+        cell: Cell,
+        /// Pins required by the cell.
+        expected: usize,
+        /// Fan-ins supplied.
+        actual: usize,
+    },
+    /// A fan-in reference points at a gate with an id not strictly
+    /// smaller than the gate it feeds, which would allow combinational
+    /// loops.
+    FaninOrder {
+        /// Gate whose fan-in row is invalid.
+        gate: GateId,
+        /// Offending fan-in gate.
+        fanin: GateId,
+    },
+    /// A reference names a gate id outside the netlist.
+    UnknownGate {
+        /// The out-of-range id.
+        gate: GateId,
+    },
+    /// A primary input is not an `Input` cell, or an `Input` cell is not
+    /// registered as a primary input.
+    MalformedInput {
+        /// The inconsistent gate.
+        gate: GateId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch {
+                gate,
+                cell,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "gate {gate} instantiates {cell} with {actual} fan-ins, expected {expected}"
+            ),
+            NetlistError::FaninOrder { gate, fanin } => write!(
+                f,
+                "gate {gate} reads {fanin}, violating the topological id invariant"
+            ),
+            NetlistError::UnknownGate { gate } => {
+                write!(f, "reference to unknown gate {gate}")
+            }
+            NetlistError::MalformedInput { gate } => {
+                write!(f, "gate {gate} is inconsistently marked as a primary input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Error produced while parsing structural Verilog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseVerilogError {
+    /// Input ended before the module was complete.
+    UnexpectedEof,
+    /// A token violated the expected grammar.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// An instance referenced an undeclared net.
+    UnknownNet {
+        /// 1-based line number.
+        line: usize,
+        /// Name of the undeclared net.
+        net: String,
+    },
+    /// An instance used a cell name absent from the library.
+    UnknownCell {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown cell name.
+        cell: String,
+    },
+    /// The instance graph contains a combinational cycle.
+    CombinationalLoop {
+        /// Name of one instance on the cycle.
+        instance: String,
+    },
+    /// A net is driven by more than one instance output.
+    MultipleDrivers {
+        /// The multiply-driven net.
+        net: String,
+    },
+    /// The netlist violated a structural invariant after construction.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseVerilogError::UnexpectedEof => f.write_str("unexpected end of file"),
+            ParseVerilogError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            ParseVerilogError::UnknownNet { line, net } => {
+                write!(f, "line {line}: unknown net `{net}`")
+            }
+            ParseVerilogError::UnknownCell { line, cell } => {
+                write!(f, "line {line}: unknown cell `{cell}`")
+            }
+            ParseVerilogError::CombinationalLoop { instance } => {
+                write!(f, "combinational loop through instance `{instance}`")
+            }
+            ParseVerilogError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            ParseVerilogError::Netlist(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseVerilogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseVerilogError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for ParseVerilogError {
+    fn from(e: NetlistError) -> ParseVerilogError {
+        ParseVerilogError::Netlist(e)
+    }
+}

@@ -1,0 +1,54 @@
+//! # tdals-sim
+//!
+//! Bit-parallel Monte-Carlo logic simulation and error estimation — the
+//! workspace's substitute for VECBEE, the "versatile
+//! efficiency–accuracy configurable batch error estimation" engine the
+//! paper uses to measure circuit error and output similarities.
+//!
+//! Three pieces:
+//!
+//! * [`Patterns`] — packed random or exhaustive input stimulus;
+//! * [`simulate`] / [`SimResult`] — evaluate every gate 64 vectors at a
+//!   time; similarity queries ([`SimResult::similarity`]) drive the
+//!   paper's switch-gate selection;
+//! * [`ErrorMetric`], [`error_rate`], [`nmed`], [`ErrorEvaluator`] —
+//!   the ER (Eq. 1) and NMED (Eq. 2) constraint metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdals_netlist::{Netlist, SignalRef};
+//! use tdals_netlist::cell::{Cell, CellFunc, Drive};
+//! use tdals_sim::{ErrorEvaluator, ErrorMetric, Patterns};
+//!
+//! // y = a | b, approximated by y = a.
+//! let mut n = Netlist::new("or");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let g = n.add_gate("u", Cell::new(CellFunc::Or2, Drive::X1),
+//!                    vec![a.into(), b.into()])?;
+//! n.add_output("y", g.into());
+//!
+//! let mut approx = n.clone();
+//! approx.substitute(g, a.into())?;
+//!
+//! let eval = ErrorEvaluator::new(&n, Patterns::exhaustive(2), ErrorMetric::ErrorRate);
+//! // Differs only on (a,b) = (0,1): ER = 1/4.
+//! assert!((eval.error_of(&approx) - 0.25).abs() < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod metrics;
+mod metrics_ext;
+mod patterns;
+
+pub use engine::{simulate, SimResult};
+pub use metrics::{error_rate, nmed, po_flip_rates, ErrorEvaluator, ErrorMetric};
+pub use metrics_ext::{
+    bit_flip_rate, mean_relative_error, med, outputs_identical, worst_case_error_distance,
+};
+pub use patterns::Patterns;

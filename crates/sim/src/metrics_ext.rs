@@ -1,0 +1,241 @@
+//! Additional error metrics used across the ALS literature.
+//!
+//! The paper constrains ER and NMED; neighbouring work (SALSA, BLASYS,
+//! HEDALS's EMax mode, …) also reports mean error distance, worst-case
+//! error distance, mean relative error, and average bit-flip rate.
+//! Having them here lets downstream users evaluate circuits produced by
+//! this workspace under whichever contract their application needs.
+
+use crate::engine::SimResult;
+
+fn check_compat(ori: &SimResult, app: &SimResult) {
+    assert_eq!(
+        ori.vector_count(),
+        app.vector_count(),
+        "results must cover the same vectors"
+    );
+    assert_eq!(
+        ori.output_count(),
+        app.output_count(),
+        "results must cover the same outputs"
+    );
+}
+
+/// Interprets one vector's outputs as an unsigned value (PO 0 = LSB),
+/// in `f64` (exact up to 53 output bits).
+fn output_value(sim: &SimResult, v: usize) -> f64 {
+    let mut value = 0.0;
+    for po in 0..sim.output_count() {
+        if sim.po_word(po, v / 64) >> (v % 64) & 1 == 1 {
+            value += (2f64).powi(po as i32);
+        }
+    }
+    value
+}
+
+/// Mean error distance: `E[|V_ori − V_app|]`, unnormalized.
+///
+/// # Panics
+///
+/// Panics if the results cover different vector or output counts.
+///
+/// # Examples
+///
+/// ```
+/// use tdals_netlist::{Netlist, SignalRef};
+/// use tdals_netlist::cell::{Cell, CellFunc, Drive};
+/// use tdals_sim::{med, simulate, Patterns};
+///
+/// let mut n = Netlist::new("buf");
+/// let a = n.add_input("a");
+/// let g = n.add_gate("u", Cell::new(CellFunc::Buf, Drive::X1), vec![a.into()])?;
+/// n.add_output("y", g.into());
+///
+/// let mut approx = n.clone();
+/// approx.substitute(g, SignalRef::Const0)?; // y := 0
+///
+/// let p = Patterns::exhaustive(1);
+/// let m = med(&simulate(&n, &p), &simulate(&approx, &p));
+/// assert!((m - 0.5).abs() < 1e-12); // wrong by 1 on half the vectors
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn med(ori: &SimResult, app: &SimResult) -> f64 {
+    check_compat(ori, app);
+    let mut total = 0.0;
+    for v in 0..ori.vector_count() {
+        total += (output_value(ori, v) - output_value(app, v)).abs();
+    }
+    total / ori.vector_count() as f64
+}
+
+/// Worst-case error distance over the simulated vectors:
+/// `max_v |V_ori − V_app|` (the sampled estimate of EMax).
+///
+/// # Panics
+///
+/// Panics if the results cover different vector or output counts.
+pub fn worst_case_error_distance(ori: &SimResult, app: &SimResult) -> f64 {
+    check_compat(ori, app);
+    (0..ori.vector_count())
+        .map(|v| (output_value(ori, v) - output_value(app, v)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean relative error distance: `E[|V_ori − V_app| / max(V_ori, 1)]`.
+///
+/// # Panics
+///
+/// Panics if the results cover different vector or output counts.
+pub fn mean_relative_error(ori: &SimResult, app: &SimResult) -> f64 {
+    check_compat(ori, app);
+    let mut total = 0.0;
+    for v in 0..ori.vector_count() {
+        let o = output_value(ori, v);
+        let a = output_value(app, v);
+        total += (o - a).abs() / o.max(1.0);
+    }
+    total / ori.vector_count() as f64
+}
+
+/// Average bit-flip rate: mean Hamming distance between output vectors
+/// divided by the output count (each PO weighted equally).
+///
+/// # Panics
+///
+/// Panics if the results cover different vector or output counts.
+pub fn bit_flip_rate(ori: &SimResult, app: &SimResult) -> f64 {
+    check_compat(ori, app);
+    let mut flips = 0usize;
+    for po in 0..ori.output_count() {
+        for w in 0..ori.word_count() {
+            flips += (ori.po_word(po, w) ^ app.po_word(po, w)).count_ones() as usize;
+        }
+    }
+    flips as f64 / (ori.vector_count() * ori.output_count()) as f64
+}
+
+/// `true` when the two results agree on every output of every vector —
+/// a sampled functional-equivalence check (exact when the stimulus is
+/// exhaustive).
+///
+/// # Panics
+///
+/// Panics if the results cover different vector or output counts.
+pub fn outputs_identical(ori: &SimResult, app: &SimResult) -> bool {
+    check_compat(ori, app);
+    for po in 0..ori.output_count() {
+        for w in 0..ori.word_count() {
+            if ori.po_word(po, w) != app.po_word(po, w) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::patterns::Patterns;
+    use tdals_netlist::builder::Builder;
+    use tdals_netlist::{Netlist, SignalRef};
+
+    fn adder3() -> Netlist {
+        let mut b = Builder::new("add3");
+        let a = b.inputs("a", 3);
+        let x = b.inputs("b", 3);
+        let (s, c) = b.ripple_add(&a, &x, SignalRef::Const0);
+        b.outputs("s", &s);
+        b.output("c", c);
+        b.finish()
+    }
+
+    #[test]
+    fn med_vs_nmed_scaling() {
+        let n = adder3();
+        let mut approx = n.clone();
+        let d = approx.output_driver(1).gate().expect("gate");
+        approx.substitute(d, SignalRef::Const0).expect("lac");
+        let p = Patterns::exhaustive(6);
+        let ori = simulate(&n, &p);
+        let app = simulate(&approx, &p);
+        let med_v = med(&ori, &app);
+        let nmed_v = crate::metrics::nmed(&ori, &app);
+        // NMED = MED / (2^4 - 1) for a 4-output circuit.
+        assert!((med_v / 15.0 - nmed_v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_bounds_mean() {
+        let n = adder3();
+        let mut approx = n.clone();
+        let d = approx.output_driver(3).gate().expect("gate");
+        approx.substitute(d, SignalRef::Const0).expect("lac");
+        let p = Patterns::exhaustive(6);
+        let ori = simulate(&n, &p);
+        let app = simulate(&approx, &p);
+        let wc = worst_case_error_distance(&ori, &app);
+        assert!(wc >= med(&ori, &app));
+        assert_eq!(wc, 8.0, "dropping the carry loses exactly 8");
+    }
+
+    #[test]
+    fn relative_error_is_scale_free() {
+        let n = adder3();
+        let mut approx = n.clone();
+        let d = approx.output_driver(0).gate().expect("gate");
+        approx.substitute(d, SignalRef::Const1).expect("lac");
+        let p = Patterns::exhaustive(6);
+        let ori = simulate(&n, &p);
+        let app = simulate(&approx, &p);
+        let rel = mean_relative_error(&ori, &app);
+        assert!(rel > 0.0 && rel < 1.0);
+    }
+
+    #[test]
+    fn bit_flip_rate_counts_all_pos() {
+        let n = adder3();
+        let mut approx = n.clone();
+        // Invert the LSB: flips PO 0 on every vector -> rate = 1/4.
+        let d = approx.output_driver(0).gate().expect("gate");
+        let inv = approx
+            .add_gate(
+                "inv",
+                tdals_netlist::cell::Cell::new(
+                    tdals_netlist::cell::CellFunc::Inv,
+                    tdals_netlist::cell::Drive::X1,
+                ),
+                vec![d.into()],
+            )
+            .expect("gate");
+        approx.set_output_driver(0, inv.into());
+        let p = Patterns::exhaustive(6);
+        let rate = bit_flip_rate(&simulate(&n, &p), &simulate(&approx, &p));
+        assert!((rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let n = adder3();
+        let p = Patterns::exhaustive(6);
+        let r = simulate(&n, &p);
+        assert!(outputs_identical(&r, &r));
+        assert_eq!(med(&r, &r), 0.0);
+        assert_eq!(worst_case_error_distance(&r, &r), 0.0);
+        assert_eq!(bit_flip_rate(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn equivalence_detects_difference() {
+        let n = adder3();
+        let mut approx = n.clone();
+        let d = approx.output_driver(2).gate().expect("gate");
+        approx.substitute(d, SignalRef::Const0).expect("lac");
+        let p = Patterns::exhaustive(6);
+        assert!(!outputs_identical(
+            &simulate(&n, &p),
+            &simulate(&approx, &p)
+        ));
+    }
+}

@@ -1,0 +1,362 @@
+//! Event-driven incremental timing analysis.
+//!
+//! DCGWO runs one STA per candidate circuit; each candidate differs
+//! from its parent by a single substitution, so almost all arrival
+//! times are unchanged. [`IncrementalSta`] keeps the timing state of
+//! one netlist and updates it in place when a substitution is applied,
+//! re-propagating arrivals only through the affected fan-out cones —
+//! the classic PrimeTime-style incremental update.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdals_netlist::builder::Builder;
+//! use tdals_netlist::SignalRef;
+//! use tdals_sta::{analyze, IncrementalSta, TimingConfig};
+//!
+//! let mut b = Builder::new("t");
+//! let a = b.input("a");
+//! let g1 = b.not(a);
+//! let g2 = b.not(g1);
+//! let g3 = b.not(g2);
+//! b.output("y", g3);
+//! let mut n = b.finish();
+//!
+//! let cfg = TimingConfig::default();
+//! let mut inc = IncrementalSta::new(&n, cfg);
+//! // Substitute g2 with constant 0 through the engine...
+//! inc.substitute(&mut n, g2.gate().expect("gate"), SignalRef::Const0)?;
+//! // ...and the state matches a from-scratch analysis.
+//! let full = analyze(&n, &cfg);
+//! assert!((inc.critical_path_delay(&n) - full.critical_path_delay()).abs() < 1e-9);
+//! # Ok::<(), tdals_netlist::NetlistError>(())
+//! ```
+
+use std::collections::BinaryHeap;
+
+use tdals_netlist::{GateId, Netlist, NetlistError, SignalRef};
+
+use crate::analysis::TimingConfig;
+
+/// Incrementally-maintained timing state for one netlist.
+///
+/// The engine must observe every mutation: apply substitutions through
+/// [`IncrementalSta::substitute`] and drive changes through
+/// [`IncrementalSta::set_drive`]. Mutating the netlist behind the
+/// engine's back leaves it stale (re-create it in that case).
+#[derive(Debug, Clone)]
+pub struct IncrementalSta {
+    cfg: TimingConfig,
+    arrival: Vec<f64>,
+    depth: Vec<u32>,
+    load: Vec<f64>,
+    /// Gate fan-out adjacency (reader gates only; PO loads are part of
+    /// `load` directly).
+    fanouts: Vec<Vec<GateId>>,
+    /// Scratch: dirty flags for the propagation queue.
+    queued: Vec<bool>,
+}
+
+impl IncrementalSta {
+    /// Builds the initial state with a full analysis pass.
+    pub fn new(netlist: &Netlist, cfg: TimingConfig) -> IncrementalSta {
+        let n = netlist.gate_count();
+        let mut engine = IncrementalSta {
+            cfg,
+            arrival: vec![0.0; n],
+            depth: vec![0; n],
+            load: vec![0.0; n],
+            fanouts: netlist.fanout_lists(),
+            queued: vec![false; n],
+        };
+        for (_, gate) in netlist.iter() {
+            let cap = gate.cell().input_cap();
+            for fanin in gate.fanins() {
+                if let SignalRef::Gate(src) = fanin {
+                    engine.load[src.index()] += cap + cfg.wire_cap_per_fanout;
+                }
+            }
+        }
+        for (_, driver) in netlist.outputs() {
+            if let SignalRef::Gate(src) = driver {
+                engine.load[src.index()] += cfg.po_load + cfg.wire_cap_per_fanout;
+            }
+        }
+        for (id, gate) in netlist.iter() {
+            if !gate.is_input() {
+                engine.refresh_gate(netlist, id);
+            }
+        }
+        engine
+    }
+
+    fn refresh_gate(&mut self, netlist: &Netlist, id: GateId) -> bool {
+        let gate = netlist.gate(id);
+        let mut worst_arrival = 0.0f64;
+        let mut worst_depth = 0u32;
+        for fanin in gate.fanins() {
+            if let SignalRef::Gate(src) = fanin {
+                worst_arrival = worst_arrival.max(self.arrival[src.index()]);
+                worst_depth = worst_depth.max(self.depth[src.index()]);
+            }
+        }
+        let arrival = worst_arrival + gate.cell().delay(self.load[id.index()]);
+        let depth = worst_depth + 1;
+        let changed = (arrival - self.arrival[id.index()]).abs() > 1e-12
+            || depth != self.depth[id.index()];
+        self.arrival[id.index()] = arrival;
+        self.depth[id.index()] = depth;
+        changed
+    }
+
+    /// Re-propagates arrivals from the given seed gates through their
+    /// fan-out cones, stopping wherever values settle.
+    fn propagate(&mut self, netlist: &Netlist, seeds: impl IntoIterator<Item = GateId>) {
+        // Min-heap on gate id: ids are topological, so processing in id
+        // order visits every gate at most once per call.
+        let mut heap: BinaryHeap<std::cmp::Reverse<GateId>> = BinaryHeap::new();
+        for seed in seeds {
+            if !self.queued[seed.index()] {
+                self.queued[seed.index()] = true;
+                heap.push(std::cmp::Reverse(seed));
+            }
+        }
+        while let Some(std::cmp::Reverse(id)) = heap.pop() {
+            self.queued[id.index()] = false;
+            if netlist.gate(id).is_input() {
+                continue;
+            }
+            if self.refresh_gate(netlist, id) {
+                for &reader in &self.fanouts[id.index()] {
+                    if !self.queued[reader.index()] {
+                        self.queued[reader.index()] = true;
+                        heap.push(std::cmp::Reverse(reader));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a wire substitution through the engine: mutates the
+    /// netlist exactly like [`Netlist::substitute`] and repairs loads,
+    /// fan-out lists, and all affected arrivals.
+    ///
+    /// Returns the number of rewritten references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::FaninOrder`] under the same conditions as
+    /// [`Netlist::substitute`]; the timing state is untouched on error.
+    pub fn substitute(
+        &mut self,
+        netlist: &mut Netlist,
+        target: GateId,
+        switch: SignalRef,
+    ) -> Result<usize, NetlistError> {
+        // Collect the readers (gates and their pin caps) before mutating.
+        let old = SignalRef::Gate(target);
+        let readers: Vec<GateId> = self.fanouts[target.index()].clone();
+        let po_reader_count = netlist
+            .outputs()
+            .filter(|(_, d)| *d == old)
+            .count();
+        let rewritten = netlist.substitute(target, switch)?;
+
+        // Load transfer: every reader pin (plus PO loads) moves from the
+        // target to the switch gate.
+        let mut moved_cap = 0.0;
+        for &reader in &readers {
+            moved_cap += netlist.gate(reader).cell().input_cap() + self.cfg.wire_cap_per_fanout;
+        }
+        moved_cap += po_reader_count as f64 * (self.cfg.po_load + self.cfg.wire_cap_per_fanout);
+        self.load[target.index()] -= moved_cap;
+
+        let mut seeds: Vec<GateId> = Vec::with_capacity(readers.len() + 2);
+        if let SignalRef::Gate(sw) = switch {
+            self.load[sw.index()] += moved_cap;
+            self.fanouts[sw.index()].extend(readers.iter().copied());
+            seeds.push(sw); // its own delay changed with the new load
+        }
+        self.fanouts[target.index()].clear();
+        // The target's delay changed too (it lost load); it is dangling
+        // but keeps consistent timing data.
+        seeds.push(target);
+        seeds.extend(readers);
+        self.propagate(netlist, seeds);
+        Ok(rewritten)
+    }
+
+    /// Changes a gate's drive strength through the engine, repairing the
+    /// loads its input pins present and all affected arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` names a primary input.
+    pub fn set_drive(
+        &mut self,
+        netlist: &mut Netlist,
+        gate: GateId,
+        drive: tdals_netlist::cell::Drive,
+    ) {
+        let old_cap = netlist.gate(gate).cell().input_cap();
+        netlist.set_drive(gate, drive);
+        let new_cap = netlist.gate(gate).cell().input_cap();
+        let delta = new_cap - old_cap;
+        let mut seeds: Vec<GateId> = vec![gate];
+        for fanin in netlist.gate(gate).fanins() {
+            if let SignalRef::Gate(src) = fanin {
+                self.load[src.index()] += delta;
+                seeds.push(*src);
+            }
+        }
+        self.propagate(netlist, seeds);
+    }
+
+    /// Output arrival time of a gate in ps.
+    pub fn arrival(&self, id: GateId) -> f64 {
+        self.arrival[id.index()]
+    }
+
+    /// Logic depth of a gate.
+    pub fn depth(&self, id: GateId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// Load seen by a gate's output in fF.
+    pub fn load(&self, id: GateId) -> f64 {
+        self.load[id.index()]
+    }
+
+    /// Critical path delay over the netlist's primary outputs.
+    pub fn critical_path_delay(&self, netlist: &Netlist) -> f64 {
+        netlist
+            .outputs()
+            .map(|(_, driver)| match driver {
+                SignalRef::Gate(src) => self.arrival[src.index()],
+                _ => 0.0,
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tdals_netlist::builder::Builder;
+    use tdals_netlist::cell::Drive;
+
+    fn random_dag(seed: u64) -> Netlist {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Builder::new("dag");
+        let mut pool: Vec<SignalRef> = (0..5).map(|i| b.input(format!("x{i}"))).collect();
+        for _ in 0..60 {
+            let i = rng.gen_range(0..pool.len());
+            let j = rng.gen_range(0..pool.len());
+            let g = match rng.gen_range(0..4) {
+                0 => b.raw_gate(tdals_netlist::cell::CellFunc::Nand2, &[pool[i], pool[j]]),
+                1 => b.raw_gate(tdals_netlist::cell::CellFunc::Xor2, &[pool[i], pool[j]]),
+                2 => b.raw_gate(tdals_netlist::cell::CellFunc::Nor2, &[pool[i], pool[j]]),
+                _ => b.raw_gate(tdals_netlist::cell::CellFunc::Inv, &[pool[i]]),
+            };
+            pool.push(g);
+        }
+        let len = pool.len();
+        for (k, &s) in pool[len - 6..].iter().enumerate() {
+            b.output(format!("y{k}"), s);
+        }
+        b.finish()
+    }
+
+    fn assert_matches_full(netlist: &Netlist, inc: &IncrementalSta, cfg: &TimingConfig) {
+        let full = analyze(netlist, cfg);
+        for (id, _) in netlist.iter() {
+            assert!(
+                (inc.arrival(id) - full.arrival(id)).abs() < 1e-9,
+                "arrival mismatch at {id}: {} vs {}",
+                inc.arrival(id),
+                full.arrival(id)
+            );
+            assert_eq!(inc.depth(id), full.depth(id), "depth mismatch at {id}");
+            assert!(
+                (inc.load(id) - full.load(id)).abs() < 1e-9,
+                "load mismatch at {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_engine_matches_full_analysis() {
+        let cfg = TimingConfig::default();
+        for seed in 0..5 {
+            let n = random_dag(seed);
+            let inc = IncrementalSta::new(&n, cfg);
+            assert_matches_full(&n, &inc, &cfg);
+        }
+    }
+
+    #[test]
+    fn substitutions_keep_engine_in_sync() {
+        let cfg = TimingConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        for seed in 0..5 {
+            let mut n = random_dag(seed);
+            let mut inc = IncrementalSta::new(&n, cfg);
+            for _ in 0..8 {
+                // Random legal LAC: gate target, switch from its TFI or const.
+                let logic: Vec<GateId> = n
+                    .iter()
+                    .filter(|(_, g)| !g.is_input())
+                    .map(|(id, _)| id)
+                    .collect();
+                let target = logic[rng.gen_range(0..logic.len())];
+                let tfi = n.tfi_mask(target);
+                let mut candidates: Vec<SignalRef> = tfi
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &m)| m)
+                    .map(|(i, _)| SignalRef::Gate(GateId::new(i)))
+                    .collect();
+                candidates.push(SignalRef::Const0);
+                let switch = candidates[rng.gen_range(0..candidates.len())];
+                inc.substitute(&mut n, target, switch).expect("legal LAC");
+                assert_matches_full(&n, &inc, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn drive_changes_keep_engine_in_sync() {
+        let cfg = TimingConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut n = random_dag(3);
+        let mut inc = IncrementalSta::new(&n, cfg);
+        let logic: Vec<GateId> = n
+            .iter()
+            .filter(|(_, g)| !g.is_input())
+            .map(|(id, _)| id)
+            .collect();
+        for _ in 0..10 {
+            let gate = logic[rng.gen_range(0..logic.len())];
+            let drive = [Drive::X0, Drive::X1, Drive::X2, Drive::X4, Drive::X8]
+                [rng.gen_range(0..5)];
+            inc.set_drive(&mut n, gate, drive);
+            assert_matches_full(&n, &inc, &cfg);
+        }
+    }
+
+    #[test]
+    fn substitute_error_leaves_state_untouched() {
+        let cfg = TimingConfig::default();
+        let mut n = random_dag(1);
+        let mut inc = IncrementalSta::new(&n, cfg);
+        // Illegal: switch downstream of target.
+        let target = GateId::new(6);
+        let downstream = GateId::new(n.gate_count() - 1);
+        let err = inc.substitute(&mut n, target, downstream.into());
+        assert!(err.is_err());
+        assert_matches_full(&n, &inc, &cfg);
+    }
+}

@@ -1,0 +1,312 @@
+//! Timing-driven gate sizing under an area constraint.
+//!
+//! This is the workspace's substitute for the paper's post-optimization
+//! call into Design Compiler: "resize its remaining gates without
+//! adjusting any circuit structure under area constraints `Area_con`"
+//! (§III-C). The approximate circuit is smaller than the accurate one,
+//! so the freed area budget is spent upsizing gates on (near-)critical
+//! paths, converting area reduction into drive-strength — and hence
+//! critical-path-delay — improvement.
+//!
+//! The algorithm is a classic greedy TILOS-style sizer:
+//!
+//! 1. run STA, extract the critical path;
+//! 2. for every gate on it, locally estimate the CPD change of a one-step
+//!    upsize (self speeds up, its drivers slow down under the higher pin
+//!    capacitance);
+//! 3. apply the best estimated move that fits the area budget, re-run
+//!    STA, and keep the move only if the measured CPD improved;
+//! 4. stop when no move fits or helps.
+
+use tdals_netlist::cell::Drive;
+use tdals_netlist::{GateId, Netlist, SignalRef};
+
+use crate::analysis::{analyze, critical_path, TimingConfig, TimingReport};
+
+/// Options for [`size_for_timing`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingConfig {
+    /// Upper bound on accepted sizing moves (safety valve; the greedy
+    /// loop normally stops on its own).
+    pub max_moves: usize,
+    /// Also consider upsizing the fan-ins of critical-path gates (their
+    /// delay is on the path through the loading term).
+    pub include_fanins: bool,
+}
+
+impl Default for SizingConfig {
+    fn default() -> SizingConfig {
+        SizingConfig {
+            max_moves: 10_000,
+            include_fanins: true,
+        }
+    }
+}
+
+/// Outcome of a sizing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingResult {
+    /// Critical path delay before sizing, ps.
+    pub cpd_before: f64,
+    /// Critical path delay after sizing, ps.
+    pub cpd_after: f64,
+    /// Live area after sizing, µm².
+    pub area_after: f64,
+    /// Number of accepted upsize moves.
+    pub moves: usize,
+}
+
+/// Estimated CPD benefit of upsizing `gate` one step, using local delay
+/// arithmetic only (no full STA).
+///
+/// Negative values predict improvement. The estimate sums the gate's own
+/// delay change at its current load with the slowdown of each fan-in
+/// driver caused by the increased pin capacitance.
+fn estimate_upsize_delta(
+    netlist: &Netlist,
+    report: &TimingReport,
+    gate: GateId,
+) -> Option<(Drive, f64)> {
+    let g = netlist.gate(gate);
+    if g.is_input() {
+        return None;
+    }
+    let cell = g.cell();
+    let up = cell.drive().upsize()?;
+    let bigger = cell.with_drive(up);
+    let load = report.load(gate);
+    let mut delta = bigger.delay(load) - cell.delay(load);
+    let cap_increase = bigger.input_cap() - cell.input_cap();
+    for fanin in g.fanins() {
+        if let SignalRef::Gate(src) = fanin {
+            let drv = netlist.gate(*src);
+            if !drv.is_input() {
+                delta += drv.cell().resistance() * cap_increase;
+            }
+        }
+    }
+    Some((up, delta))
+}
+
+/// Greedily upsizes gates to minimize critical path delay while keeping
+/// the live area at or below `area_con` µm².
+///
+/// The circuit structure is never modified — only drive strengths change
+/// — so the function is function-preserving by construction. If the
+/// circuit already exceeds `area_con`, no upsizing is performed (the
+/// paper never encounters this case because approximate circuits shrink).
+///
+/// # Examples
+///
+/// ```
+/// use tdals_netlist::Netlist;
+/// use tdals_netlist::cell::{Cell, CellFunc, Drive};
+/// use tdals_sta::{analyze, size_for_timing, SizingConfig, TimingConfig};
+///
+/// let mut n = Netlist::new("chain");
+/// let a = n.add_input("a");
+/// let mut prev = a.into();
+/// for i in 0..6 {
+///     prev = n.add_gate(format!("g{i}"), Cell::new(CellFunc::Nand2, Drive::X0),
+///                       vec![prev, a.into()])?.into();
+/// }
+/// n.add_output("y", prev);
+///
+/// let cfg = TimingConfig::default();
+/// let budget = n.area_live() * 2.0;
+/// let result = size_for_timing(&mut n, &cfg, budget, &SizingConfig::default());
+/// assert!(result.cpd_after <= result.cpd_before);
+/// assert!(result.area_after <= budget);
+/// # Ok::<(), tdals_netlist::NetlistError>(())
+/// ```
+pub fn size_for_timing(
+    netlist: &mut Netlist,
+    cfg: &TimingConfig,
+    area_con: f64,
+    sizing: &SizingConfig,
+) -> SizingResult {
+    let mut report = analyze(netlist, cfg);
+    let cpd_before = report.critical_path_delay();
+    let mut cpd = cpd_before;
+    let mut area = netlist.area_live();
+    let mut moves = 0usize;
+    let live = netlist.live_mask();
+    // Gates whose last attempted upsize failed validation at the drive
+    // recorded here; retried only after they change drive via another
+    // accepted move.
+    let mut rejected: std::collections::HashMap<GateId, Drive> =
+        std::collections::HashMap::new();
+
+    while moves < sizing.max_moves {
+        // Candidate set: gates on the critical path (plus optionally
+        // their live fan-ins, whose drive shows up in the path delay).
+        let path = critical_path(netlist, &report);
+        if path.is_empty() {
+            break;
+        }
+        let mut candidates: Vec<GateId> = path.clone();
+        if sizing.include_fanins {
+            for &g in &path {
+                for fanin in netlist.gate(g).fanins() {
+                    if let SignalRef::Gate(src) = fanin {
+                        if live[src.index()] && !netlist.gate(*src).is_input() {
+                            candidates.push(*src);
+                        }
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        // Rank by locally-estimated benefit per area.
+        let mut best: Option<(GateId, Drive, f64, f64)> = None;
+        for &g in &candidates {
+            if rejected.get(&g) == Some(&netlist.gate(g).cell().drive()) {
+                continue;
+            }
+            let Some((up, delta)) = estimate_upsize_delta(netlist, &report, g) else {
+                continue;
+            };
+            if delta >= 0.0 {
+                continue;
+            }
+            let cell = netlist.gate(g).cell();
+            let extra_area = cell.with_drive(up).area() - cell.area();
+            if area + extra_area > area_con {
+                continue;
+            }
+            let score = delta / extra_area.max(1e-9);
+            if best.map_or(true, |(_, _, _, s)| score < s) {
+                best = Some((g, up, extra_area, score));
+            }
+        }
+        let Some((g, up, extra_area, _)) = best else {
+            break;
+        };
+
+        let old_drive = netlist.gate(g).cell().drive();
+        netlist.set_drive(g, up);
+        let new_report = analyze(netlist, cfg);
+        let new_cpd = new_report.critical_path_delay();
+        if new_cpd < cpd {
+            cpd = new_cpd;
+            area += extra_area;
+            report = new_report;
+            moves += 1;
+        } else {
+            // Local estimate was optimistic; revert, remember the
+            // failure at this drive, and let other candidates compete.
+            netlist.set_drive(g, old_drive);
+            rejected.insert(g, old_drive);
+        }
+    }
+
+    SizingResult {
+        cpd_before,
+        cpd_after: cpd,
+        area_after: netlist.area_live(),
+        moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdals_netlist::cell::{Cell, CellFunc};
+
+    fn weak_chain(len: usize, width: usize) -> Netlist {
+        // A chain of NAND2X0 gates with `width` parallel side-loads per
+        // stage, so upsizing has real work to do.
+        let mut n = Netlist::new("weak");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let mut prev: SignalRef = a.into();
+        for i in 0..len {
+            let g = n
+                .add_gate(
+                    format!("g{i}"),
+                    Cell::new(CellFunc::Nand2, Drive::X0),
+                    vec![prev, b.into()],
+                )
+                .expect("gate");
+            for j in 0..width {
+                let s = n
+                    .add_gate(
+                        format!("side{i}_{j}"),
+                        Cell::new(CellFunc::Inv, Drive::X1),
+                        vec![g.into()],
+                    )
+                    .expect("gate");
+                n.add_output(format!("o{i}_{j}"), s.into());
+            }
+            prev = g.into();
+        }
+        n.add_output("y", prev);
+        n
+    }
+
+    #[test]
+    fn sizing_improves_cpd_within_budget() {
+        let mut n = weak_chain(8, 2);
+        let cfg = TimingConfig::default();
+        let budget = n.area_live() * 1.5;
+        let r = size_for_timing(&mut n, &cfg, budget, &SizingConfig::default());
+        assert!(r.moves > 0, "expected at least one accepted move");
+        assert!(r.cpd_after < r.cpd_before);
+        assert!(r.area_after <= budget + 1e-9);
+        n.check_invariants().expect("structure untouched");
+    }
+
+    #[test]
+    fn sizing_is_function_preserving() {
+        use tdals_sim::{simulate, Patterns};
+        let mut n = weak_chain(4, 1);
+        let p = Patterns::random(2, 512, 5);
+        let before = simulate(&n, &p);
+        let cfg = TimingConfig::default();
+        let budget = n.area_live() * 2.0;
+        size_for_timing(&mut n, &cfg, budget, &SizingConfig::default());
+        let after = simulate(&n, &p);
+        for po in 0..n.output_count() {
+            for w in 0..p.word_count() {
+                assert_eq!(before.po_word(po, w), after.po_word(po, w));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_headroom_budget_means_no_moves() {
+        let mut n = weak_chain(4, 1);
+        let cfg = TimingConfig::default();
+        let area = n.area_live();
+        let r = size_for_timing(&mut n, &cfg, area, &SizingConfig::default());
+        assert_eq!(r.moves, 0);
+        assert_eq!(r.cpd_after, r.cpd_before);
+    }
+
+    #[test]
+    fn larger_budget_never_hurts() {
+        let cfg = TimingConfig::default();
+        let base = weak_chain(8, 2);
+        let mut tight = base.clone();
+        let mut loose = base.clone();
+        let area = base.area_live();
+        let rt = size_for_timing(&mut tight, &cfg, area * 1.1, &SizingConfig::default());
+        let rl = size_for_timing(&mut loose, &cfg, area * 2.0, &SizingConfig::default());
+        assert!(rl.cpd_after <= rt.cpd_after + 1e-9);
+    }
+
+    #[test]
+    fn move_cap_is_respected(){
+        let mut n = weak_chain(8, 2);
+        let cfg = TimingConfig::default();
+        let sizing = SizingConfig {
+            max_moves: 1,
+            ..SizingConfig::default()
+        };
+        let budget = n.area_live() * 3.0;
+        let r = size_for_timing(&mut n, &cfg, budget, &sizing);
+        assert!(r.moves <= 1);
+    }
+}

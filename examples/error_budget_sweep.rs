@@ -1,0 +1,51 @@
+//! Error-budget exploration on an arithmetic workload: sweep the NMED
+//! constraint on the 16-bit adder and print the resulting
+//! accuracy/timing trade-off curve, then dump the loosest-budget
+//! netlist as structural Verilog.
+//!
+//! This mirrors the motivation in the paper's introduction: error-
+//! tolerant applications trade a controlled amount of arithmetic
+//! precision for critical-path delay.
+//!
+//! ```sh
+//! cargo run --release --example error_budget_sweep
+//! ```
+
+use tdals::circuits::Benchmark;
+use tdals::core::{run_flow, FlowConfig};
+use tdals::netlist::verilog;
+use tdals::sim::ErrorMetric;
+
+fn main() {
+    let accurate = Benchmark::Adder16.build();
+    println!(
+        "circuit: {} ({} gates)",
+        accurate.name(),
+        accurate.logic_gate_count()
+    );
+    println!("{:>10} {:>10} {:>10} {:>10}", "NMED_con", "NMED", "Ratio_cpd", "area µm²");
+
+    let budgets = [0.0048, 0.0098, 0.0147, 0.0196, 0.0244];
+    let mut last = None;
+    for &budget in &budgets {
+        let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, budget);
+        cfg.vectors = 2048;
+        cfg.optimizer.population = 12;
+        cfg.optimizer.iterations = 10;
+        let result = run_flow(&accurate, &cfg);
+        println!(
+            "{:>10.4} {:>10.5} {:>10.4} {:>10.2}",
+            budget, result.error, result.ratio_cpd, result.area
+        );
+        last = Some(result);
+    }
+
+    if let Some(result) = last {
+        let text = verilog::to_verilog(&result.netlist);
+        let lines = text.lines().count();
+        println!("\nfinal approximate netlist ({lines} lines of Verilog), first 10 lines:");
+        for line in text.lines().take(10) {
+            println!("  {line}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Method shoot-out on a random/control workload: run all five flows
+//! (VECBEE-S, VaACS, HEDALS, single-chase GWO, DCGWO) on the c880-class
+//! 8-bit ALU under a 5% error-rate budget — a single row of the paper's
+//! TABLE II.
+//!
+//! ```sh
+//! cargo run --release --example method_comparison
+//! ```
+
+use tdals::baselines::{run_method, MethodConfig, ALL_METHODS};
+use tdals::circuits::Benchmark;
+use tdals::core::EvalContext;
+use tdals::sim::{ErrorMetric, Patterns};
+use tdals::sta::TimingConfig;
+
+fn main() {
+    let accurate = Benchmark::C880.build();
+    let patterns = Patterns::random(accurate.input_count(), 2048, 0xC880);
+    let ctx = EvalContext::new(
+        &accurate,
+        patterns,
+        ErrorMetric::ErrorRate,
+        TimingConfig::default(),
+        0.8,
+    );
+    println!(
+        "circuit: {} ({} gates, CPD_ori {:.1} ps, Area_ori {:.1} µm²)",
+        accurate.name(),
+        accurate.logic_gate_count(),
+        ctx.cpd_ori(),
+        ctx.area_ori()
+    );
+    println!("error-rate budget: 5%\n");
+    println!(
+        "{:<10} {:>10} {:>9} {:>11} {:>11}",
+        "method", "Ratio_cpd", "ER", "area µm²", "runtime s"
+    );
+
+    let cfg = MethodConfig {
+        population: 12,
+        iterations: 10,
+        level_we: 0.1,
+        seed: 7,
+    };
+    for method in ALL_METHODS {
+        let result = run_method(&ctx, method, 0.05, None, &cfg);
+        println!(
+            "{:<10} {:>10.4} {:>9.4} {:>11.2} {:>11.2}",
+            method.label(),
+            result.ratio_cpd,
+            result.error,
+            result.area,
+            result.runtime_s
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quick start: approximate one benchmark circuit and report the
+//! timing gain.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tdals::circuits::Benchmark;
+use tdals::core::{run_flow, FlowConfig};
+use tdals::sim::ErrorMetric;
+
+fn main() {
+    // The paper's arithmetic protocol: NMED budget of 2.44%.
+    let accurate = Benchmark::Max16.build();
+    println!(
+        "accurate circuit: {} ({} gates, {} PIs, {} POs)",
+        accurate.name(),
+        accurate.logic_gate_count(),
+        accurate.input_count(),
+        accurate.output_count()
+    );
+
+    let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
+    // Laptop-friendly effort; bump these toward (30, 20) for paper-scale
+    // runs.
+    cfg.vectors = 2048;
+    cfg.optimizer.population = 12;
+    cfg.optimizer.iterations = 10;
+
+    let result = run_flow(&accurate, &cfg);
+
+    println!("CPD_ori   = {:8.2} ps", result.cpd_ori);
+    println!("CPD_fac   = {:8.2} ps", result.cpd_fac);
+    println!(
+        "Ratio_cpd = {:8.4}  ({:.1}% critical-path delay reduction)",
+        result.ratio_cpd,
+        (1.0 - result.ratio_cpd) * 100.0
+    );
+    println!("NMED      = {:8.5} (budget 0.0244)", result.error);
+    println!(
+        "area      = {:8.2} µm² (constraint {:.2} µm²)",
+        result.area, result.area_con
+    );
+    println!(
+        "post-opt  = {} dangling gates removed, {} sizing moves",
+        result.post_opt.gates_removed, result.post_opt.sizing_moves
+    );
+    println!("runtime   = {:8.2} s", result.runtime_s);
+}

@@ -1,0 +1,255 @@
+//! `tdals` — command-line front end for the timing-driven ALS flow.
+//!
+//! Subcommands:
+//!
+//! * `flow`   — approximate a structural-Verilog netlist (or a named
+//!   benchmark) under an ER/NMED budget and write the result as Verilog;
+//! * `report` — static timing + statistics report for a netlist;
+//! * `bench`  — emit one of the paper's regenerated benchmarks as
+//!   Verilog.
+//!
+//! ```sh
+//! tdals bench --name Adder16 --output adder16.v
+//! tdals flow --input adder16.v --metric nmed --bound 0.0244 --output approx.v
+//! tdals report --input approx.v
+//! ```
+
+use std::collections::HashMap;
+use std::fs;
+use std::process::ExitCode;
+
+use tdals::baselines::{run_method, Method, MethodConfig};
+use tdals::circuits::{Benchmark, ALL_BENCHMARKS};
+use tdals::core::EvalContext;
+use tdals::netlist::{verilog, Netlist};
+use tdals::sim::{ErrorMetric, Patterns};
+use tdals::sta::{analyze, critical_path, TimingConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  tdals flow   --input <file.v | bench:NAME> --metric <er|nmed> --bound <f>
+               [--method <dcgwo|gwo|hedals|greedy|vaacs>] [--output <file.v>]
+               [--population <n>] [--iterations <n>] [--vectors <n>]
+               [--area-con <µm²>] [--seed <n>]
+  tdals report --input <file.v | bench:NAME>
+  tdals bench  --name <NAME> [--output <file.v>]
+  tdals list";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let opts = parse_options(rest)?;
+    match command.as_str() {
+        "flow" => cmd_flow(&opts),
+        "report" => cmd_report(&opts),
+        "bench" => cmd_bench(&opts),
+        "list" => cmd_list(),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --option, found `{key}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        opts.insert(name.to_owned(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn load_input(opts: &HashMap<String, String>) -> Result<Netlist, String> {
+    let input = opts
+        .get("input")
+        .ok_or_else(|| "--input is required".to_owned())?;
+    if let Some(name) = input.strip_prefix("bench:") {
+        return benchmark_by_name(name).map(Benchmark::build);
+    }
+    let text = fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    verilog::parse(&text).map_err(|e| format!("parsing {input}: {e}"))
+}
+
+fn benchmark_by_name(name: &str) -> Result<Benchmark, String> {
+    ALL_BENCHMARKS
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `tdals list`)"))
+}
+
+fn write_output(opts: &HashMap<String, String>, netlist: &Netlist) -> Result<(), String> {
+    let text = verilog::to_verilog(netlist);
+    match opts.get("output") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn parse_num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: invalid value `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), String> {
+    let accurate = load_input(opts)?;
+    let metric = match opts.get("metric").map(String::as_str) {
+        Some("er") => ErrorMetric::ErrorRate,
+        Some("nmed") => ErrorMetric::Nmed,
+        Some(other) => return Err(format!("--metric must be er|nmed, got `{other}`")),
+        None => return Err("--metric is required".into()),
+    };
+    let bound: f64 = opts
+        .get("bound")
+        .ok_or_else(|| "--bound is required".to_owned())?
+        .parse()
+        .map_err(|_| "--bound: invalid number".to_owned())?;
+    let method = match opts.get("method").map(String::as_str) {
+        None | Some("dcgwo") => Method::Dcgwo,
+        Some("gwo") => Method::SingleChaseGwo,
+        Some("hedals") => Method::Hedals,
+        Some("greedy") => Method::VecbeeSasimi,
+        Some("vaacs") => Method::Vaacs,
+        Some(other) => return Err(format!("unknown method `{other}`")),
+    };
+    let vectors = parse_num(opts, "vectors", 4096usize)?;
+    let seed = parse_num(opts, "seed", 1u64)?;
+    let cfg = MethodConfig {
+        population: parse_num(opts, "population", 30usize)?,
+        iterations: parse_num(opts, "iterations", 20usize)?,
+        level_we: match metric {
+            ErrorMetric::ErrorRate => 0.1,
+            ErrorMetric::Nmed => 0.2,
+        },
+        seed,
+    };
+
+    let patterns = Patterns::random(accurate.input_count(), vectors, seed);
+    let ctx = EvalContext::new(&accurate, patterns, metric, TimingConfig::default(), 0.8);
+    let area_con = match opts.get("area-con") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| "--area-con: invalid number".to_owned())?,
+        ),
+        None => None,
+    };
+
+    eprintln!(
+        "flow: {} gates, CPD_ori {:.2} ps, Area_ori {:.2} µm², method {}",
+        accurate.logic_gate_count(),
+        ctx.cpd_ori(),
+        ctx.area_ori(),
+        method.label()
+    );
+    let result = run_method(&ctx, method, bound, area_con, &cfg);
+    eprintln!(
+        "done: Ratio_cpd {:.4}, CPD_fac {:.2} ps, error {:.5}, area {:.2} µm², {:.1}s",
+        result.ratio_cpd, result.cpd_fac, result.error, result.area, result.runtime_s
+    );
+    write_output(opts, &result.netlist)
+}
+
+fn cmd_report(opts: &HashMap<String, String>) -> Result<(), String> {
+    let netlist = load_input(opts)?;
+    let cfg = TimingConfig::default();
+    let report = analyze(&netlist, &cfg);
+    println!("module {}", netlist.name());
+    println!("  gates : {}", netlist.logic_gate_count());
+    println!("  PIs   : {}", netlist.input_count());
+    println!("  POs   : {}", netlist.output_count());
+    println!("  area  : {:.2} µm² (live)", netlist.area_live());
+    println!("  depth : {} levels", report.max_depth());
+    println!("  CPD   : {:.2} ps", report.critical_path_delay());
+    let dead = netlist.live_mask().iter().filter(|&&l| !l).count();
+    println!("  dangling gates: {dead}");
+    let mut hist: Vec<(String, usize)> = netlist
+        .func_histogram()
+        .into_iter()
+        .map(|(f, c)| (f.to_string(), c))
+        .collect();
+    hist.sort();
+    println!("  cell mix: {}",
+        hist.iter()
+            .map(|(f, c)| format!("{f}:{c}"))
+            .collect::<Vec<_>>()
+            .join(" "));
+    let path = critical_path(&netlist, &report);
+    println!("  critical path ({} gates):", path.len());
+    for gate in path.iter().rev().take(12) {
+        let g = netlist.gate(*gate);
+        println!(
+            "    {:>10.2} ps  {:<10} {}",
+            report.arrival(*gate),
+            g.cell().lib_name(),
+            g.name()
+        );
+    }
+    if path.len() > 12 {
+        println!("    ... {} more", path.len() - 12);
+    }
+    Ok(())
+}
+
+fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    let name = opts
+        .get("name")
+        .ok_or_else(|| "--name is required".to_owned())?;
+    let bench = benchmark_by_name(name)?;
+    let netlist = bench.build();
+    eprintln!(
+        "{}: {} gates, {} PIs, {} POs — {}",
+        bench.name(),
+        netlist.logic_gate_count(),
+        netlist.input_count(),
+        netlist.output_count(),
+        bench.description()
+    );
+    write_output(opts, &netlist)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<12} {:<10} {:>7}  description", "name", "class", "#gate");
+    for bench in ALL_BENCHMARKS {
+        let n = bench.build();
+        let class = match bench.class() {
+            tdals::circuits::CircuitClass::RandomControl => "rand/ctrl",
+            tdals::circuits::CircuitClass::Arithmetic => "arith",
+        };
+        println!(
+            "{:<12} {:<10} {:>7}  {}",
+            bench.name(),
+            class,
+            n.logic_gate_count(),
+            bench.description()
+        );
+    }
+    Ok(())
+}

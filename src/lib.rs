@@ -1,0 +1,46 @@
+//! # tdals — Timing-Driven Approximate Logic Synthesis
+//!
+//! A Rust reproduction of *"Timing-driven Approximate Logic Synthesis
+//! Based on Double-chase Grey Wolf Optimizer"* (Hu, Ye, Chen, Yan, Yu —
+//! DATE 2025), complete with every substrate the paper's flow relies on:
+//! a 28nm-class cell library, gate fan-in adjacency netlists, structural
+//! Verilog I/O, static timing analysis, bit-parallel Monte-Carlo error
+//! estimation, the benchmark suite, the DCGWO optimizer itself, and the
+//! baseline methods it is evaluated against.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`netlist`] | `tdals-netlist` | cells, netlists, Verilog |
+//! | [`sim`] | `tdals-sim` | simulation, ER/NMED, similarity |
+//! | [`sta`] | `tdals-sta` | timing analysis, gate sizing |
+//! | [`circuits`] | `tdals-circuits` | TABLE I benchmark generators |
+//! | [`core`] | `tdals-core` | LACs, DCGWO, post-opt, full flow |
+//! | [`baselines`] | `tdals-baselines` | VECBEE-S / VaACS / HEDALS / GWO |
+//!
+//! # Quick start
+//!
+//! ```
+//! use tdals::circuits::Benchmark;
+//! use tdals::core::{run_flow, FlowConfig};
+//! use tdals::sim::ErrorMetric;
+//!
+//! // Approximate the 16-bit max unit under a 2.44% NMED budget.
+//! let accurate = Benchmark::Max16.build();
+//! let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
+//! cfg.vectors = 1024;              // demo-sized settings
+//! cfg.optimizer.population = 8;
+//! cfg.optimizer.iterations = 4;
+//!
+//! let result = run_flow(&accurate, &cfg);
+//! assert!(result.error <= 0.0244);
+//! assert!(result.ratio_cpd <= 1.0); // never slower than the input
+//! ```
+
+pub use tdals_baselines as baselines;
+pub use tdals_circuits as circuits;
+pub use tdals_core as core;
+pub use tdals_netlist as netlist;
+pub use tdals_sim as sim;
+pub use tdals_sta as sta;

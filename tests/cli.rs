@@ -1,0 +1,90 @@
+//! Smoke tests for the `tdals` command-line tool: benchmark export,
+//! reporting, and a miniature end-to-end flow over real files.
+
+use std::process::Command;
+
+fn tdals() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tdals"))
+}
+
+#[test]
+fn list_names_every_benchmark() {
+    let out = tdals().arg("list").output().expect("run tdals list");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    for name in ["Cavlc", "c6288", "Sqrt", "Adder16"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn bench_emits_parseable_verilog() {
+    let out = tdals()
+        .args(["bench", "--name", "Max16"])
+        .output()
+        .expect("run tdals bench");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    let netlist = tdals::netlist::verilog::parse(&text).expect("emitted Verilog parses");
+    assert_eq!(netlist.input_count(), 32);
+    assert_eq!(netlist.output_count(), 16);
+}
+
+#[test]
+fn report_summarizes_netlist() {
+    let out = tdals()
+        .args(["report", "--input", "bench:Adder16"])
+        .output()
+        .expect("run tdals report");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("CPD"));
+    assert!(text.contains("critical path"));
+}
+
+#[test]
+fn flow_writes_feasible_netlist() {
+    let dir = std::env::temp_dir().join(format!("tdals-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out_path = dir.join("approx.v");
+    let out = tdals()
+        .args([
+            "flow",
+            "--input",
+            "bench:Max16",
+            "--metric",
+            "nmed",
+            "--bound",
+            "0.0244",
+            "--population",
+            "8",
+            "--iterations",
+            "4",
+            "--vectors",
+            "1024",
+            "--output",
+            out_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("run tdals flow");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("output written");
+    let netlist = tdals::netlist::verilog::parse(&text).expect("valid Verilog");
+    netlist.check_invariants().expect("valid netlist");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = tdals()
+        .args(["flow", "--metric", "nmed"])
+        .output()
+        .expect("run tdals");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "stderr: {err}");
+}

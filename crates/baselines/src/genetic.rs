@@ -118,8 +118,7 @@ pub fn genetic_depth(ctx: &EvalContext, error_bound: f64, cfg: &GeneticConfig) -
             };
             if rng.gen::<f64>() < cfg.mutation_rate {
                 let sim = ctx.simulate(&child);
-                if let Some(lac) = random_lac(&child, &sim, cfg.max_switch_candidates, &mut rng)
-                {
+                if let Some(lac) = random_lac(&child, &sim, cfg.max_switch_candidates, &mut rng) {
                     lac.apply(&mut child).expect("legal LAC");
                 }
             }

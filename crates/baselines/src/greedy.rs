@@ -75,13 +75,9 @@ pub fn greedy_area(ctx: &EvalContext, error_bound: f64, cfg: &GreedyConfig) -> N
         let mut best: Option<(Netlist, f64, f64, f64)> = None; // (netlist, err, area, score)
         for _ in 0..cfg.candidates_per_round {
             let target = targets[rng.gen_range(0..targets.len())];
-            let Some(lac) = select_switch(
-                &netlist,
-                &sim,
-                target,
-                cfg.max_switch_candidates,
-                &mut rng,
-            ) else {
+            let Some(lac) =
+                select_switch(&netlist, &sim, target, cfg.max_switch_candidates, &mut rng)
+            else {
                 continue;
             };
             let similarity = sim.similarity(SignalRef::Gate(lac.target()), lac.switch());
@@ -103,7 +99,7 @@ pub fn greedy_area(ctx: &EvalContext, error_bound: f64, cfg: &GreedyConfig) -> N
             // toward the cheaper LAC without ever out-voting area.
             let err_cost = (err - current_error).max(0.0);
             let score = area_gain - 1e-3 * err_cost;
-            if best.as_ref().map_or(true, |(_, _, _, s)| score > *s) {
+            if best.as_ref().is_none_or(|(_, _, _, s)| score > *s) {
                 best = Some((trial, err, area, score));
             }
         }

@@ -67,7 +67,11 @@ pub fn depth_driven(ctx: &EvalContext, error_bound: f64, cfg: &HedalsConfig) -> 
     let probe_vectors = (ctx.evaluator().patterns().vector_count() / 8).max(256);
     let probe = ErrorEvaluator::new(
         ctx.accurate(),
-        Patterns::random(ctx.accurate().input_count(), probe_vectors, cfg.seed ^ 0x9E37),
+        Patterns::random(
+            ctx.accurate().input_count(),
+            probe_vectors,
+            cfg.seed ^ 0x9E37,
+        ),
         ctx.metric(),
     );
 
@@ -89,13 +93,9 @@ pub fn depth_driven(ctx: &EvalContext, error_bound: f64, cfg: &HedalsConfig) -> 
         }
         let mut scored: Vec<Scored> = Vec::new();
         for target in targets {
-            let Some(lac) = select_switch(
-                &netlist,
-                &sim,
-                target,
-                cfg.max_switch_candidates,
-                &mut rng,
-            ) else {
+            let Some(lac) =
+                select_switch(&netlist, &sim, target, cfg.max_switch_candidates, &mut rng)
+            else {
                 continue;
             };
             if blacklist.contains(&(lac.target(), lac.switch())) {

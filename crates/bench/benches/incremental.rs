@@ -10,10 +10,7 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
     let cfg = TimingConfig::default();
     let netlist = Benchmark::C6288.build();
     // A representative LAC: substitute one mid-circuit gate.
-    let target = netlist
-        .output_driver(8)
-        .gate()
-        .expect("gate-driven PO");
+    let target = netlist.output_driver(8).gate().expect("gate-driven PO");
 
     let mut group = c.benchmark_group("sta_after_one_lac");
     group.bench_function("full_reanalysis/c6288", |b| {

@@ -50,5 +50,10 @@ fn bench_similarity(c: &mut Criterion) {
     c.bench_function("similarity/c880", |b| b.iter(|| sim.similarity(a, b_sig)));
 }
 
-criterion_group!(benches, bench_simulate, bench_error_metrics, bench_similarity);
+criterion_group!(
+    benches,
+    bench_simulate,
+    bench_error_metrics,
+    bench_similarity
+);
 criterion_main!(benches);

@@ -50,6 +50,11 @@ fn main() {
         Benchmark::Max16,
     ]);
     sweep(&rc, &[0.01, 0.05], effort, "a (ER tightest/loosest)");
-    sweep(&arith, &[0.0048, 0.0244], effort, "b (NMED tightest/loosest)");
+    sweep(
+        &arith,
+        &[0.0048, 0.0244],
+        effort,
+        "b (NMED tightest/loosest)",
+    );
     println!("\npaper shape: minima at wd = 0.8 under all four constraints");
 }

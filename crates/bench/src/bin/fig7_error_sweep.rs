@@ -45,7 +45,12 @@ fn main() {
     let rc = effort.filter(Benchmark::random_control());
     let arith = effort.filter(Benchmark::arithmetic());
     sweep(&rc, &ER_BOUNDS, effort, "a: Ratio_cpd vs ER constraint");
-    sweep(&arith, &NMED_BOUNDS, effort, "b: Ratio_cpd vs NMED constraint");
+    sweep(
+        &arith,
+        &NMED_BOUNDS,
+        effort,
+        "b: Ratio_cpd vs NMED constraint",
+    );
     println!("\npaper shape: Ours below GWO below HEDALS at every constraint;");
     println!("all curves fall as the constraint loosens");
 }

@@ -48,7 +48,12 @@ fn main() {
     let rc = effort.filter(Benchmark::random_control());
     let arith = effort.filter(Benchmark::arithmetic());
     sweep(&rc, 0.05, effort, "a: 5% ER, Ratio_cpd vs area constraint");
-    sweep(&arith, 0.0244, effort, "b: 2.44% NMED, Ratio_cpd vs area constraint");
+    sweep(
+        &arith,
+        0.0244,
+        effort,
+        "b: 2.44% NMED, Ratio_cpd vs area constraint",
+    );
     println!("\npaper shape: Ours lowest across all area constraints; curves");
     println!("fall monotonically as the area budget grows");
 }

@@ -63,8 +63,12 @@ fn main() {
     }
 }
 
-fn measure(accurate: &tdals_netlist::Netlist, approx: &tdals_netlist::Netlist,
-           metric: ErrorMetric, vectors: usize) -> f64 {
+fn measure(
+    accurate: &tdals_netlist::Netlist,
+    approx: &tdals_netlist::Netlist,
+    metric: ErrorMetric,
+    vectors: usize,
+) -> f64 {
     let p = Patterns::random(accurate.input_count(), vectors, 0xACC);
     metric.compute(&simulate(accurate, &p), &simulate(approx, &p))
 }

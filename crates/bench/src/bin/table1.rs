@@ -13,8 +13,8 @@ fn main() {
     let cfg = TimingConfig::default();
     println!("TABLE I — benchmark statistics (regenerated substrate)");
     println!(
-        "{:<12} {:<16} {:>7} {:>9} {:>12} {:>12}  {}",
-        "type", "circuit", "#gate", "#PI/PO", "CPD_ori ps", "Area µm²", "description"
+        "{:<12} {:<16} {:>7} {:>9} {:>12} {:>12}  description",
+        "type", "circuit", "#gate", "#PI/PO", "CPD_ori ps", "Area µm²"
     );
     for bench in ALL_BENCHMARKS {
         let netlist = bench.build();

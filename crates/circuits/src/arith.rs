@@ -207,7 +207,7 @@ pub fn int2float(b: &mut Builder, v: &[SignalRef]) -> Vec<SignalRef> {
     // Shift amount s in 0..=7 with s = max(p-3, 0): v >= 2^(s+3) iff
     // shift >= s. one_hot[s] selects the exact shift.
     // any_at_or_above[k] = OR of v[k..].
-    let mut any_above = vec![SignalRef::Const0; 12];
+    let mut any_above = [SignalRef::Const0; 12];
     for k in (0..11).rev() {
         any_above[k] = b.or(v[k], any_above[k + 1]);
     }
@@ -232,9 +232,9 @@ pub fn int2float(b: &mut Builder, v: &[SignalRef]) -> Vec<SignalRef> {
         one_hot.push(sel);
     }
     for (s, &sel) in one_hot.iter().enumerate() {
-        for bit in 0..3 {
+        for (bit, e) in exponent.iter_mut().enumerate() {
             if s >> bit & 1 == 1 {
-                exponent[bit] = b.or(exponent[bit], sel);
+                *e = b.or(*e, sel);
             }
         }
         // Mantissa: (v >> s) & 0xF gated by this selection.
@@ -283,7 +283,7 @@ pub fn sin_poly(b: &mut Builder, x: &[SignalRef]) -> Vec<SignalRef> {
     // slope nowhere it matters).
     let nx: Vec<SignalRef> = x.iter().map(|&v| b.not(v)).collect();
     let p = array_multiplier(b, x, &nx); // x(1-x), Q0.48
-    // y = 4·x·(1-x) as Q0.24: < 1.0 strictly since x(~x) < 0.25.
+                                         // y = 4·x·(1-x) as Q0.24: < 1.0 strictly since x(~x) < 0.25.
     let y: Vec<SignalRef> = p[22..46].to_vec();
 
     let sq = array_multiplier(b, &y, &y); // y², Q0.48
@@ -324,7 +324,10 @@ pub fn sin_poly_reference(x: f64) -> f64 {
 /// Panics if the input width is odd or zero.
 pub fn isqrt(b: &mut Builder, x: &[SignalRef]) -> Vec<SignalRef> {
     let n = x.len();
-    assert!(n > 0 && n % 2 == 0, "isqrt needs an even, positive width");
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "isqrt needs an even, positive width"
+    );
     let half = n / 2;
     let w = half + 4; // two's-complement working width for the remainder
     let mut r: Vec<SignalRef> = vec![SignalRef::Const0; w];
@@ -380,7 +383,7 @@ mod tests {
         (0..p.vector_count())
             .map(|v| {
                 (0..n.output_count())
-                    .map(|po| u64::from(r.po_word(po, v / 64) >> (v % 64) & 1) << po)
+                    .map(|po| (r.po_word(po, v / 64) >> (v % 64) & 1) << po)
                     .sum()
             })
             .collect()
@@ -426,7 +429,10 @@ mod tests {
         let cfg = TimingConfig::default();
         let csa_d = analyze(&csa, &cfg).max_depth();
         let rca_d = analyze(&rca, &cfg).max_depth();
-        assert!(csa_d < rca_d, "carry-select is shallower: {csa_d} vs {rca_d}");
+        assert!(
+            csa_d < rca_d,
+            "carry-select is shallower: {csa_d} vs {rca_d}"
+        );
     }
 
     #[test]
@@ -559,11 +565,9 @@ mod tests {
         let p = Patterns::random(24, 256, 12345);
         let r = simulate(&n, &p);
         for v in 0..p.vector_count() {
-            let xv: u64 = (0..24)
-                .map(|i| u64::from(p.bit(i, v)) << i)
-                .sum();
+            let xv: u64 = (0..24).map(|i| u64::from(p.bit(i, v)) << i).sum();
             let yv: u64 = (0..25)
-                .map(|po| u64::from(r.po_word(po, v / 64) >> (v % 64) & 1) << po)
+                .map(|po| (r.po_word(po, v / 64) >> (v % 64) & 1) << po)
                 .sum();
             let x_frac = xv as f64 / (1u64 << 24) as f64;
             let y_frac = yv as f64 / (1u64 << 24) as f64;

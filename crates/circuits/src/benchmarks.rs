@@ -240,7 +240,11 @@ fn alu_with_glue(
         seeds.push(out.result[0]);
         seeds.push(out.result[width - 1]);
         seeds.push(out.carry);
-        let glue = grow(&mut b, &seeds, &RandomLogicSpec::new(glue_gates, extra_pos, seed));
+        let glue = grow(
+            &mut b,
+            &seeds,
+            &RandomLogicSpec::new(glue_gates, extra_pos, seed),
+        );
         b.outputs("g", &glue);
     }
     b.finish()

@@ -133,11 +133,7 @@ pub fn hamming_encode(b: &mut Builder, data: &[SignalRef]) -> Vec<SignalRef> {
 /// # Panics
 ///
 /// Panics if `data` is not 16 bits or `checks` is not 6 bits.
-pub fn hamming_secded(
-    b: &mut Builder,
-    data: &[SignalRef],
-    checks: &[SignalRef],
-) -> SecDedOutputs {
+pub fn hamming_secded(b: &mut Builder, data: &[SignalRef], checks: &[SignalRef]) -> SecDedOutputs {
     assert_eq!(data.len(), 16, "SEC/DED decodes 16 data bits");
     assert_eq!(checks.len(), 6, "SEC/DED uses 5 check bits + parity");
     // Hamming syndrome: recomputed check bits vs the received ones.
@@ -163,7 +159,7 @@ pub fn hamming_secded(
 
     // Flip data bit d when the syndrome equals its codeword position.
     let mut corrected = Vec::with_capacity(16);
-    for d in 0..16 {
+    for (d, &dbit) in data.iter().enumerate() {
         let pos = data_position(d);
         let mut terms = Vec::with_capacity(5);
         for (c, &s) in syndrome[..5].iter().enumerate() {
@@ -171,7 +167,7 @@ pub fn hamming_secded(
         }
         let hit = b.and_tree(&terms);
         let flip = b.and(hit, correct_en);
-        corrected.push(b.xor(data[d], flip));
+        corrected.push(b.xor(dbit, flip));
     }
     SecDedOutputs {
         corrected,
@@ -264,11 +260,10 @@ mod tests {
         b.output("zero", out.zero);
         let n = b.finish();
         let outs = output_values(&n, 9);
-        for v in 0..512usize {
+        for (v, bits) in outs.iter().enumerate() {
             let av = (v & 7) as u64;
             let xv = (v >> 3 & 7) as u64;
             let op = v >> 6 & 7;
-            let bits = &outs[v];
             let r = from_bits(&bits[0..3]);
             let want = match op {
                 0 => (av + xv) & 7,
@@ -310,8 +305,7 @@ mod tests {
         b.output("derr", dec.double_error);
         let n = b.finish();
         let outs = output_values(&n, 8);
-        for v in 0..256usize {
-            let bits = &outs[v];
+        for (v, bits) in outs.iter().enumerate() {
             let corrected = from_bits(&bits[0..16]);
             assert_eq!(corrected, v as u64, "corrects bit-3 flip of {v}");
             assert!(!bits[16], "single error is not a double error");
@@ -328,13 +322,7 @@ mod tests {
         let flipped: Vec<SignalRef> = word
             .iter()
             .enumerate()
-            .map(|(i, &d)| {
-                if i == 2 || i == 9 {
-                    b.not(d)
-                } else {
-                    d
-                }
-            })
+            .map(|(i, &d)| if i == 2 || i == 9 { b.not(d) } else { d })
             .collect();
         let dec = hamming_secded(&mut b, &flipped, &checks);
         b.output("derr", dec.double_error);
@@ -359,8 +347,7 @@ mod tests {
         b.outputs("s", &syn);
         let n = b.finish();
         let outs = output_values(&n, 8);
-        for v in 0..256usize {
-            let bits = &outs[v];
+        for (v, bits) in outs.iter().enumerate() {
             assert_eq!(from_bits(&bits[0..16]), v as u64);
             assert!(!bits[16], "no double error");
             assert!(bits[17..23].iter().all(|&s| !s), "zero syndrome");
@@ -380,10 +367,9 @@ mod tests {
         b.output("lt", out.lt);
         let n = b.finish();
         let outs = output_values(&n, 8);
-        for v in 0..256usize {
+        for (v, bits) in outs.iter().enumerate() {
             let av = (v & 15) as u64;
             let xv = (v >> 4) as u64;
-            let bits = &outs[v];
             assert_eq!(from_bits(&bits[0..4]), (av + xv) & 15);
             assert_eq!(bits[4], av + xv > 15, "carry");
             assert_eq!(bits[5], av == xv, "eq");

@@ -138,7 +138,11 @@ mod tests {
         b.outputs("y", &outs);
         let n = b.finish();
         let report = analyze(&n, &TimingConfig::default());
-        assert!(report.max_depth() >= 8, "depth {} too shallow", report.max_depth());
+        assert!(
+            report.max_depth() >= 8,
+            "depth {} too shallow",
+            report.max_depth()
+        );
     }
 
     #[test]

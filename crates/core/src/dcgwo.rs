@@ -147,11 +147,8 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let horizon = ((cfg.iterations as f64 * cfg.relax_horizon).round() as usize)
         .clamp(1, cfg.iterations.max(1));
-    let schedule = ErrorSchedule::with_horizon(
-        error_bound,
-        cfg.initial_constraint_fraction,
-        horizon,
-    );
+    let schedule =
+        ErrorSchedule::with_horizon(error_bound, cfg.initial_constraint_fraction, horizon);
     // Per-PO errors below a tenth of the budget count as "clean" in the
     // reproduction Level, letting its timing term pick the faster of
     // two acceptable cones.
@@ -168,12 +165,9 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
         let mut netlist = accurate.netlist.clone();
         for _ in 0..cfg.initial_lacs.max(1) {
             let sim = ctx.simulate(&netlist);
-            if let Some(lac) = crate::lac::random_lac(
-                &netlist,
-                &sim,
-                cfg.search.max_switch_candidates,
-                &mut rng,
-            ) {
+            if let Some(lac) =
+                crate::lac::random_lac(&netlist, &sim, cfg.search.max_switch_candidates, &mut rng)
+            {
                 lac.apply(&mut netlist).expect("legal LAC");
             }
         }
@@ -218,11 +212,7 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
         let feasible_count = feasible.len();
         if feasible.len() < cfg.population {
             infeasible.sort_by(|x, y| x.error.total_cmp(&y.error));
-            feasible.extend(
-                infeasible
-                    .into_iter()
-                    .take(cfg.population - feasible.len()),
-            );
+            feasible.extend(infeasible.into_iter().take(cfg.population - feasible.len()));
         }
 
         // Non-dominated sorting + crowding selection down to N.

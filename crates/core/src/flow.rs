@@ -38,10 +38,12 @@ impl FlowConfig {
     /// The paper's configuration for a given metric and error bound
     /// (`we` = 0.1 under ER, 0.2 under NMED).
     pub fn paper_defaults(metric: ErrorMetric, error_bound: f64) -> FlowConfig {
-        let mut optimizer = OptimizerConfig::default();
-        optimizer.level_we = match metric {
-            ErrorMetric::ErrorRate => 0.1,
-            ErrorMetric::Nmed => 0.2,
+        let optimizer = OptimizerConfig {
+            level_we: match metric {
+                ErrorMetric::ErrorRate => 0.1,
+                ErrorMetric::Nmed => 0.2,
+            },
+            ..OptimizerConfig::default()
         };
         FlowConfig {
             metric,
@@ -99,13 +101,7 @@ pub struct FlowResult {
 pub fn run_flow(accurate: &Netlist, cfg: &FlowConfig) -> FlowResult {
     let start = Instant::now();
     let patterns = Patterns::random(accurate.input_count(), cfg.vectors, cfg.pattern_seed);
-    let ctx = EvalContext::new(
-        accurate,
-        patterns,
-        cfg.metric,
-        cfg.timing,
-        cfg.depth_weight,
-    );
+    let ctx = EvalContext::new(accurate, patterns, cfg.metric, cfg.timing, cfg.depth_weight);
     let optimizer = optimize(&ctx, cfg.error_bound, &cfg.optimizer);
 
     let mut netlist = optimizer.best.netlist.clone();
@@ -164,7 +160,10 @@ mod tests {
         assert!(result.error <= 0.08 + 1e-12);
         assert!(result.ratio_cpd <= 1.0 + 1e-9, "ratio {}", result.ratio_cpd);
         assert!(result.area <= result.area_con + 1e-9);
-        result.netlist.check_invariants().expect("valid final netlist");
+        result
+            .netlist
+            .check_invariants()
+            .expect("valid final netlist");
     }
 
     #[test]

@@ -146,7 +146,7 @@ pub fn select_switch<R: Rng>(
             continue;
         }
         let s = sim.similarity(target_sig, cand);
-        if best.map_or(true, |(_, bs)| s > bs) {
+        if best.is_none_or(|(_, bs)| s > bs) {
             best = Some((cand, s));
         }
     }
@@ -221,11 +221,10 @@ mod tests {
             }
             let lac = select_switch(&n, &sim, id, 16, &mut rng).expect("switch");
             assert_eq!(lac.target(), id);
-            match lac.switch() {
-                SignalRef::Gate(s) => {
-                    assert!(n.tfi_mask(id)[s.index()], "switch inside TFI");
-                }
-                _ => {} // constants always legal
+            // Constant switches are always legal; gate switches must
+            // come from the target's TFI.
+            if let SignalRef::Gate(s) = lac.switch() {
+                assert!(n.tfi_mask(id)[s.index()], "switch inside TFI");
             }
         }
     }

@@ -37,11 +37,7 @@ impl ErrorSchedule {
     ///
     /// Panics if `max_bound` is negative, `initial_fraction` is outside
     /// `[0, 1]`, or `horizon` is zero.
-    pub fn with_horizon(
-        max_bound: f64,
-        initial_fraction: f64,
-        horizon: usize,
-    ) -> ErrorSchedule {
+    pub fn with_horizon(max_bound: f64, initial_fraction: f64, horizon: usize) -> ErrorSchedule {
         ErrorSchedule::new(max_bound, initial_fraction, horizon)
     }
 

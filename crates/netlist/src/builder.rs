@@ -176,12 +176,12 @@ impl Builder {
     /// 3-input majority (full-adder carry) with constant folding.
     pub fn maj(&mut self, a: SignalRef, b: SignalRef, c: SignalRef) -> SignalRef {
         match (a, b, c) {
-            (SignalRef::Const0, x, y)
-            | (x, SignalRef::Const0, y)
-            | (x, y, SignalRef::Const0) => self.and(x, y),
-            (SignalRef::Const1, x, y)
-            | (x, SignalRef::Const1, y)
-            | (x, y, SignalRef::Const1) => self.or(x, y),
+            (SignalRef::Const0, x, y) | (x, SignalRef::Const0, y) | (x, y, SignalRef::Const0) => {
+                self.and(x, y)
+            }
+            (SignalRef::Const1, x, y) | (x, SignalRef::Const1, y) | (x, y, SignalRef::Const1) => {
+                self.or(x, y)
+            }
             (x, y, z) if x == y => self.mux_fold(x, z),
             (x, y, z) if x == z || y == z => {
                 // maj(x, y, x) = x or (x & y) = x when duplicated; the
@@ -323,11 +323,7 @@ impl Builder {
     /// # Panics
     ///
     /// Panics if the buses differ in width.
-    pub fn ripple_sub(
-        &mut self,
-        a: &[SignalRef],
-        b: &[SignalRef],
-    ) -> (Vec<SignalRef>, SignalRef) {
+    pub fn ripple_sub(&mut self, a: &[SignalRef], b: &[SignalRef]) -> (Vec<SignalRef>, SignalRef) {
         assert_eq!(a.len(), b.len(), "subtractor operands must match in width");
         let nb: Vec<SignalRef> = b.iter().map(|&x| self.not(x)).collect();
         let (diff, carry) = self.ripple_add(a, &nb, SignalRef::Const1);

@@ -542,9 +542,7 @@ impl FromStr for Cell {
     type Err = ParseCellError;
 
     fn from_str(s: &str) -> Result<Cell, ParseCellError> {
-        let err = || ParseCellError {
-            name: s.to_owned(),
-        };
+        let err = || ParseCellError { name: s.to_owned() };
         for func in ALL_FUNCS {
             let stem = func.stem();
             if let Some(rest) = s.strip_prefix(stem) {
@@ -587,11 +585,7 @@ mod tests {
             for (idx, want) in expect.iter().enumerate() {
                 let a = idx & 1 == 1;
                 let b = idx & 2 == 2;
-                assert_eq!(
-                    func.eval_bool(&[a, b]),
-                    *want,
-                    "{func} on ({a},{b})"
-                );
+                assert_eq!(func.eval_bool(&[a, b]), *want, "{func} on ({a},{b})");
             }
         }
     }
@@ -608,11 +602,8 @@ mod tests {
             assert_eq!(CellFunc::Nor3.eval_bool(&[a, b, c]), !(a || b || c));
             assert_eq!(CellFunc::Aoi21.eval_bool(&[a, b, c]), !((a && b) || c));
             assert_eq!(CellFunc::Oai21.eval_bool(&[a, b, c]), !((a || b) && c));
-            assert_eq!(
-                CellFunc::Mux2.eval_bool(&[a, b, c]),
-                if a { c } else { b }
-            );
-            let maj = (a && b) || (a && c) || (b && c);
+            assert_eq!(CellFunc::Mux2.eval_bool(&[a, b, c]), if a { c } else { b });
+            let maj = [a, b, c].iter().filter(|&&x| x).count() >= 2;
             assert_eq!(CellFunc::Maj3.eval_bool(&[a, b, c]), maj);
         }
     }
@@ -658,8 +649,7 @@ mod tests {
     fn upsizing_monotone_in_area_cap_resistance() {
         for func in ALL_FUNCS {
             let mut d = Drive::X0;
-            loop {
-                let Some(up) = d.upsize() else { break };
+            while let Some(up) = d.upsize() {
                 let small = Cell::new(func, d);
                 let big = Cell::new(func, up);
                 assert!(big.area() > small.area(), "{func} area");

@@ -260,7 +260,10 @@ impl Netlist {
         for &fanin in &fanins {
             if let SignalRef::Gate(src) = fanin {
                 if src >= id {
-                    return Err(NetlistError::FaninOrder { gate: id, fanin: src });
+                    return Err(NetlistError::FaninOrder {
+                        gate: id,
+                        fanin: src,
+                    });
                 }
             }
         }
@@ -393,11 +396,7 @@ impl Netlist {
     /// Returns [`NetlistError::ArityMismatch`] or
     /// [`NetlistError::FaninOrder`] under the same conditions as
     /// [`Netlist::add_gate`].
-    pub fn set_fanins(
-        &mut self,
-        gate: GateId,
-        fanins: Vec<SignalRef>,
-    ) -> Result<(), NetlistError> {
+    pub fn set_fanins(&mut self, gate: GateId, fanins: Vec<SignalRef>) -> Result<(), NetlistError> {
         let cell = self.gates[gate.index()].cell;
         if fanins.len() != cell.arity() {
             return Err(NetlistError::ArityMismatch {
@@ -431,11 +430,7 @@ impl Netlist {
     /// Returns [`NetlistError::FaninOrder`] if `switch` is a gate with
     /// id ≥ `target`; the paper avoids this case by drawing switch gates
     /// from the target's transitive fan-in.
-    pub fn substitute(
-        &mut self,
-        target: GateId,
-        switch: SignalRef,
-    ) -> Result<usize, NetlistError> {
+    pub fn substitute(&mut self, target: GateId, switch: SignalRef) -> Result<usize, NetlistError> {
         if let SignalRef::Gate(s) = switch {
             if s >= target {
                 return Err(NetlistError::FaninOrder {
@@ -580,9 +575,9 @@ impl Netlist {
             }
         }
         let remap_sig = |s: SignalRef| match s {
-            SignalRef::Gate(g) => SignalRef::Gate(
-                remap[g.index()].expect("live gate references dead gate"),
-            ),
+            SignalRef::Gate(g) => {
+                SignalRef::Gate(remap[g.index()].expect("live gate references dead gate"))
+            }
             c => c,
         };
         let mut gates = Vec::with_capacity(next);
@@ -725,7 +720,9 @@ impl Netlist {
     /// Looks up a gate id by instance name (linear scan; intended for
     /// tests and tooling, not hot paths).
     pub fn find_gate(&self, name: &str) -> Option<GateId> {
-        self.iter().find(|(_, g)| g.name() == name).map(|(id, _)| id)
+        self.iter()
+            .find(|(_, g)| g.name() == name)
+            .map(|(id, _)| id)
     }
 
     /// Builds a map from instance name to gate id.
@@ -764,9 +761,24 @@ mod tests {
             n.add_gate(name, x1(func), fi).expect("valid gate")
         };
         // Paper id 5 .. 15 -> ours 4 .. 14.
-        let g5 = add(&mut n, "u5", CellFunc::And2, vec![pis[0].into(), pis[1].into()]);
-        let g6 = add(&mut n, "u6", CellFunc::Or2, vec![pis[1].into(), pis[2].into()]);
-        let g7 = add(&mut n, "u7", CellFunc::Nand2, vec![pis[2].into(), pis[3].into()]);
+        let g5 = add(
+            &mut n,
+            "u5",
+            CellFunc::And2,
+            vec![pis[0].into(), pis[1].into()],
+        );
+        let g6 = add(
+            &mut n,
+            "u6",
+            CellFunc::Or2,
+            vec![pis[1].into(), pis[2].into()],
+        );
+        let g7 = add(
+            &mut n,
+            "u7",
+            CellFunc::Nand2,
+            vec![pis[2].into(), pis[3].into()],
+        );
         let g8 = add(&mut n, "u8", CellFunc::And2, vec![g5.into(), g6.into()]);
         let g9 = add(&mut n, "u9", CellFunc::Xor2, vec![g6.into(), g7.into()]);
         let g10 = add(&mut n, "u10", CellFunc::Or2, vec![pis[3].into(), g7.into()]);
@@ -863,11 +875,7 @@ mod tests {
         let g12 = n.find_gate("u12").expect("u12");
         // Re-point po3 from gate 15 to gate 7's output through substitute on 12:
         n.substitute(g12, SignalRef::Const1).expect("legal LAC");
-        let dead_before = n
-            .live_mask()
-            .iter()
-            .filter(|&&l| !l)
-            .count();
+        let dead_before = n.live_mask().iter().filter(|&&l| !l).count();
         assert!(dead_before >= 1);
         let removed = n.sweep_dangling();
         assert_eq!(removed, dead_before);

@@ -211,7 +211,6 @@ struct Parser {
 }
 
 impl Parser {
-
     fn next(&mut self) -> Result<Token, ParseVerilogError> {
         let t = self
             .tokens
@@ -280,9 +279,9 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
     let mut drivers: Vec<NetDriver> = Vec::new();
     let mut net_names: Vec<String> = Vec::new();
     let intern = |name: &str,
-                      net_ids: &mut HashMap<String, usize>,
-                      drivers: &mut Vec<NetDriver>,
-                      net_names: &mut Vec<String>|
+                  net_ids: &mut HashMap<String, usize>,
+                  drivers: &mut Vec<NetDriver>,
+                  net_names: &mut Vec<String>|
      -> usize {
         if let Some(&id) = net_ids.get(name) {
             return id;
@@ -314,9 +313,7 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                     let net = intern(&name_tok.text, &mut net_ids, &mut drivers, &mut net_names);
                     if kind == "input" {
                         if drivers[net] != NetDriver::Undriven {
-                            return Err(ParseVerilogError::MultipleDrivers {
-                                net: name_tok.text,
-                            });
+                            return Err(ParseVerilogError::MultipleDrivers { net: name_tok.text });
                         }
                         drivers[net] = NetDriver::PrimaryInput(input_order.len());
                         input_order.push(net);
@@ -357,10 +354,12 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
             }
             cell_name => {
                 // A cell instance.
-                let cell: Cell = cell_name.parse().map_err(|_| ParseVerilogError::UnknownCell {
-                    line: t.line,
-                    cell: cell_name.to_owned(),
-                })?;
+                let cell: Cell = cell_name
+                    .parse()
+                    .map_err(|_| ParseVerilogError::UnknownCell {
+                        line: t.line,
+                        cell: cell_name.to_owned(),
+                    })?;
                 let inst_name = p.ident()?.text;
                 p.expect("(")?;
                 let mut input_nets: Vec<Option<usize>> = vec![None; cell.arity()];
@@ -403,9 +402,7 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                                     .filter(|&i| i < cell.arity())
                                     .ok_or_else(|| ParseVerilogError::Syntax {
                                         line: pin_tok.line,
-                                        message: format!(
-                                            "unknown pin `{pin}` on cell {cell_name}"
-                                        ),
+                                        message: format!("unknown pin `{pin}` on cell {cell_name}"),
                                     })?;
                                 let net = intern(
                                     &net_tok.text,
@@ -526,11 +523,13 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
             NetDriver::Const(false) => Ok(SignalRef::Const0),
             NetDriver::Const(true) => Ok(SignalRef::Const1),
             NetDriver::PrimaryInput(idx) => Ok(SignalRef::Gate(pi_gate[idx])),
-            NetDriver::Instance(i) => inst_gate[i]
-                .map(SignalRef::Gate)
-                .ok_or(ParseVerilogError::CombinationalLoop {
-                    instance: instances[i].name.clone(),
-                }),
+            NetDriver::Instance(i) => {
+                inst_gate[i]
+                    .map(SignalRef::Gate)
+                    .ok_or(ParseVerilogError::CombinationalLoop {
+                        instance: instances[i].name.clone(),
+                    })
+            }
             NetDriver::Undriven | NetDriver::Alias(_) => Err(ParseVerilogError::UnknownNet {
                 line,
                 net: net_names[net].clone(),
@@ -679,7 +678,10 @@ mod tests {
         let u1 = n.find_gate("u1").expect("u1");
         n.substitute(u1, SignalRef::Const0).expect("lac");
         let text = to_verilog(&n);
-        assert!(text.contains("1'b0"), "constant operand serialized:\n{text}");
+        assert!(
+            text.contains("1'b0"),
+            "constant operand serialized:\n{text}"
+        );
         let reparsed = parse(&text).expect("reparse with constant");
         reparsed.check_invariants().expect("valid");
     }

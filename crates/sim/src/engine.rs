@@ -240,11 +240,7 @@ mod tests {
         let mut n = Netlist::new("c");
         let a = n.add_input("a");
         let g = n
-            .add_gate(
-                "u",
-                x1(CellFunc::And2),
-                vec![a.into(), SignalRef::Const1],
-            )
+            .add_gate("u", x1(CellFunc::And2), vec![a.into(), SignalRef::Const1])
             .expect("gate");
         n.add_output("y", g.into());
         n.add_output("k", SignalRef::Const1);

@@ -428,8 +428,8 @@ mod tests {
         let bad = simulate(&worst, &p);
         let er = error_rate(&golden, &bad);
         let m = nmed(&golden, &bad);
-        assert!(er <= 1.0 && er >= 0.0);
-        assert!(m <= 1.0 && m >= 0.0);
+        assert!((0.0..=1.0).contains(&er));
+        assert!((0.0..=1.0).contains(&m));
         assert_eq!(er, 1.0, "every vector differs");
     }
 }

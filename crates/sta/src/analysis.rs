@@ -414,7 +414,10 @@ mod tests {
         let cfg = TimingConfig::default();
         let base = analyze(&n, &cfg).critical_path_delay();
         let faster = analyze(&sized, &cfg).critical_path_delay();
-        assert!(faster < base, "upsizing under heavy load helps: {base} -> {faster}");
+        assert!(
+            faster < base,
+            "upsizing under heavy load helps: {base} -> {faster}"
+        );
     }
 
     #[test]

@@ -102,8 +102,8 @@ impl IncrementalSta {
         }
         let arrival = worst_arrival + gate.cell().delay(self.load[id.index()]);
         let depth = worst_depth + 1;
-        let changed = (arrival - self.arrival[id.index()]).abs() > 1e-12
-            || depth != self.depth[id.index()];
+        let changed =
+            (arrival - self.arrival[id.index()]).abs() > 1e-12 || depth != self.depth[id.index()];
         self.arrival[id.index()] = arrival;
         self.depth[id.index()] = depth;
         changed
@@ -156,10 +156,7 @@ impl IncrementalSta {
         // Collect the readers (gates and their pin caps) before mutating.
         let old = SignalRef::Gate(target);
         let readers: Vec<GateId> = self.fanouts[target.index()].clone();
-        let po_reader_count = netlist
-            .outputs()
-            .filter(|(_, d)| *d == old)
-            .count();
+        let po_reader_count = netlist.outputs().filter(|(_, d)| *d == old).count();
         let rewritten = netlist.substitute(target, switch)?;
 
         // Load transfer: every reader pin (plus PO loads) moves from the
@@ -340,8 +337,8 @@ mod tests {
             .collect();
         for _ in 0..10 {
             let gate = logic[rng.gen_range(0..logic.len())];
-            let drive = [Drive::X0, Drive::X1, Drive::X2, Drive::X4, Drive::X8]
-                [rng.gen_range(0..5)];
+            let drive =
+                [Drive::X0, Drive::X1, Drive::X2, Drive::X4, Drive::X8][rng.gen_range(0..5)];
             inc.set_drive(&mut n, gate, drive);
             assert_matches_full(&n, &inc, &cfg);
         }

@@ -57,7 +57,11 @@ pub fn timing_report_text(
         report.critical_path_delay(),
         report.max_depth()
     );
-    let _ = writeln!(out, "  live area           : {:.2} um2", netlist.area_live());
+    let _ = writeln!(
+        out,
+        "  live area           : {:.2} um2",
+        netlist.area_live()
+    );
 
     // Rank POs by arrival, worst first.
     let mut pos: Vec<usize> = (0..netlist.output_count()).collect();

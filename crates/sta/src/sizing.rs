@@ -134,8 +134,7 @@ pub fn size_for_timing(
     // Gates whose last attempted upsize failed validation at the drive
     // recorded here; retried only after they change drive via another
     // accepted move.
-    let mut rejected: std::collections::HashMap<GateId, Drive> =
-        std::collections::HashMap::new();
+    let mut rejected: std::collections::HashMap<GateId, Drive> = std::collections::HashMap::new();
 
     while moves < sizing.max_moves {
         // Candidate set: gates on the critical path (plus optionally
@@ -177,7 +176,7 @@ pub fn size_for_timing(
                 continue;
             }
             let score = delta / extra_area.max(1e-9);
-            if best.map_or(true, |(_, _, _, s)| score < s) {
+            if best.is_none_or(|(_, _, _, s)| score < s) {
                 best = Some((g, up, extra_area, score));
             }
         }
@@ -298,7 +297,7 @@ mod tests {
     }
 
     #[test]
-    fn move_cap_is_respected(){
+    fn move_cap_is_respected() {
         let mut n = weak_chain(8, 2);
         let cfg = TimingConfig::default();
         let sizing = SizingConfig {

@@ -23,7 +23,10 @@ fn main() {
         accurate.name(),
         accurate.logic_gate_count()
     );
-    println!("{:>10} {:>10} {:>10} {:>10}", "NMED_con", "NMED", "Ratio_cpd", "area µm²");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "NMED_con", "NMED", "Ratio_cpd", "area µm²"
+    );
 
     let budgets = [0.0048, 0.0098, 0.0147, 0.0196, 0.0244];
     let mut last = None;

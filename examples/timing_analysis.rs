@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Library export.
     let lib = liberty::to_liberty("tdals28");
     let (name, cells) = liberty::parse_liberty(&lib)?;
-    println!("\nliberty export: library `{name}` with {} cells", cells.len());
+    println!(
+        "\nliberty export: library `{name}` with {} cells",
+        cells.len()
+    );
     for cell in cells.iter().take(3) {
         println!(
             "  {:<10} area {:>6.2} um2, cin {:>5.2} fF, R {:>5.2} ps/fF",

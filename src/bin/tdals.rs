@@ -196,11 +196,13 @@ fn cmd_report(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|(f, c)| (f.to_string(), c))
         .collect();
     hist.sort();
-    println!("  cell mix: {}",
+    println!(
+        "  cell mix: {}",
         hist.iter()
             .map(|(f, c)| format!("{f}:{c}"))
             .collect::<Vec<_>>()
-            .join(" "));
+            .join(" ")
+    );
     let path = critical_path(&netlist, &report);
     println!("  critical path ({} gates):", path.len());
     for gate in path.iter().rev().take(12) {

@@ -14,10 +14,7 @@ fn every_benchmark_builds_validates_and_times() {
         n.check_invariants()
             .unwrap_or_else(|e| panic!("{bench}: {e}"));
         let report = analyze(&n, &cfg);
-        assert!(
-            report.critical_path_delay() > 0.0,
-            "{bench} has zero CPD"
-        );
+        assert!(report.critical_path_delay() > 0.0, "{bench} has zero CPD");
         assert!(report.max_depth() >= 2, "{bench} is too shallow");
         assert!(n.area_live() > 0.0, "{bench} has zero area");
         // No dangling gates in freshly generated benchmarks.
@@ -37,7 +34,7 @@ fn adder16_adds() {
         let a: u64 = (0..16).map(|i| u64::from(p.bit(i, v)) << i).sum();
         let b: u64 = (0..16).map(|i| u64::from(p.bit(16 + i, v)) << i).sum();
         let got: u64 = (0..17)
-            .map(|po| u64::from(r.po_word(po, v / 64) >> (v % 64) & 1) << po)
+            .map(|po| (r.po_word(po, v / 64) >> (v % 64) & 1) << po)
             .sum();
         assert_eq!(got, a + b, "{a} + {b}");
     }
@@ -52,7 +49,7 @@ fn c6288_multiplies() {
         let a: u64 = (0..16).map(|i| u64::from(p.bit(i, v)) << i).sum();
         let b: u64 = (0..16).map(|i| u64::from(p.bit(16 + i, v)) << i).sum();
         let got: u64 = (0..32)
-            .map(|po| u64::from(r.po_word(po, v / 64) >> (v % 64) & 1) << po)
+            .map(|po| (r.po_word(po, v / 64) >> (v % 64) & 1) << po)
             .sum();
         assert_eq!(got, a * b, "{a} * {b}");
     }
@@ -67,7 +64,7 @@ fn max16_selects_maximum() {
         let a: u64 = (0..16).map(|i| u64::from(p.bit(i, v)) << i).sum();
         let b: u64 = (0..16).map(|i| u64::from(p.bit(16 + i, v)) << i).sum();
         let got: u64 = (0..16)
-            .map(|po| u64::from(r.po_word(po, v / 64) >> (v % 64) & 1) << po)
+            .map(|po| (r.po_word(po, v / 64) >> (v % 64) & 1) << po)
             .sum();
         assert_eq!(got, a.max(b));
     }
@@ -111,7 +108,7 @@ fn sqrt_matches_floor_sqrt_on_low_range() {
     for v in 0..p.vector_count() {
         let xv: u64 = (0..16).map(|i| u64::from(p.bit(i, v)) << i).sum();
         let got: u64 = (0..8)
-            .map(|po| u64::from(r.po_word(po, v / 64) >> (v % 64) & 1) << po)
+            .map(|po| (r.po_word(po, v / 64) >> (v % 64) & 1) << po)
             .sum();
         assert_eq!(got, (xv as f64).sqrt().floor() as u64, "isqrt({xv})");
     }
@@ -142,7 +139,16 @@ fn class_split_matches_paper_tables() {
     let arith: Vec<&str> = Benchmark::arithmetic().iter().map(|b| b.name()).collect();
     assert_eq!(
         arith,
-        ["Int2float", "Adder16", "Max16", "c6288", "Adder", "Max", "Sin", "Sqrt"]
+        [
+            "Int2float",
+            "Adder16",
+            "Max16",
+            "c6288",
+            "Adder",
+            "Max",
+            "Sin",
+            "Sqrt"
+        ]
     );
     for b in ALL_BENCHMARKS {
         let expected = matches!(

@@ -26,7 +26,10 @@ fn flow_on_arithmetic_benchmark() {
     assert!(result.error <= 0.0244 + 1e-12, "error {}", result.error);
     assert!(result.ratio_cpd <= 1.0 + 1e-9, "ratio {}", result.ratio_cpd);
     assert!(result.area <= result.area_con + 1e-9);
-    result.netlist.check_invariants().expect("valid final netlist");
+    result
+        .netlist
+        .check_invariants()
+        .expect("valid final netlist");
 
     // The final netlist must be dangling-free (post-opt swept it).
     assert!(result.netlist.live_mask().iter().all(|&l| l));
@@ -163,7 +166,8 @@ fn tighter_error_budget_never_helps_timing() {
     let accurate = Benchmark::Max16.build();
     let mut tight_sum = 0.0;
     let mut loose_sum = 0.0;
-    for seed in [1u64, 2, 3] {
+    let seeds = [1u64, 2, 3, 4, 5, 6];
+    for seed in seeds {
         let mut tight_cfg = quick_flow(ErrorMetric::Nmed, 0.0048);
         tight_cfg.optimizer.seed = seed;
         let mut loose_cfg = quick_flow(ErrorMetric::Nmed, 0.0244);
@@ -174,8 +178,8 @@ fn tighter_error_budget_never_helps_timing() {
     assert!(
         loose_sum <= tight_sum + 0.15,
         "loose avg {} vs tight avg {}",
-        loose_sum / 3.0,
-        tight_sum / 3.0
+        loose_sum / seeds.len() as f64,
+        tight_sum / seeds.len() as f64
     );
 }
 

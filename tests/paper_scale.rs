@@ -1,0 +1,114 @@
+//! Paper-scale reproduction runs, gated behind `#[ignore]` so that
+//! `cargo test -q` stays fast (the quick suite finishes in seconds).
+//!
+//! Run them explicitly with
+//!
+//! ```text
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+//!
+//! and set `TDALS_EFFORT=full` for the paper's full population/vector
+//! budgets (`quick`/`standard`/`full`; default `standard`). The nine
+//! `tdals-bench` binaries (`table1` … `fig8_area_sweep`) reproduce the
+//! complete tables and figures; these tests pin down the headline
+//! claims on one benchmark per class.
+
+use tdals::baselines::{run_method, Method, MethodConfig};
+use tdals::circuits::Benchmark;
+use tdals_bench::{context_for, level_we, Effort, ER_BOUNDS, NMED_BOUNDS};
+
+fn cfg_for(effort: Effort, metric: tdals::sim::ErrorMetric, seed: u64) -> MethodConfig {
+    MethodConfig {
+        population: effort.population(),
+        iterations: effort.iterations(),
+        level_we: level_we(metric),
+        seed,
+    }
+}
+
+#[test]
+#[ignore = "paper-scale (minutes); run with --ignored, TDALS_EFFORT=full for paper budgets"]
+fn dcgwo_meets_every_nmed_bound_on_max16() {
+    let effort = Effort::from_env();
+    let (ctx, metric) = context_for(Benchmark::Max16, effort);
+    for bound in NMED_BOUNDS {
+        let result = run_method(
+            &ctx,
+            Method::Dcgwo,
+            bound,
+            None,
+            &cfg_for(effort, metric, 1),
+        );
+        assert!(
+            result.error <= bound + 1e-12,
+            "NMED {} exceeds bound {bound}",
+            result.error
+        );
+        assert!(
+            result.ratio_cpd <= 1.0 + 1e-9,
+            "ratio_cpd {} above 1 at bound {bound}",
+            result.ratio_cpd
+        );
+    }
+}
+
+#[test]
+#[ignore = "paper-scale (minutes); run with --ignored, TDALS_EFFORT=full for paper budgets"]
+fn dcgwo_meets_every_er_bound_on_c880() {
+    let effort = Effort::from_env();
+    let (ctx, metric) = context_for(Benchmark::C880, effort);
+    for bound in ER_BOUNDS {
+        let result = run_method(
+            &ctx,
+            Method::Dcgwo,
+            bound,
+            None,
+            &cfg_for(effort, metric, 1),
+        );
+        assert!(
+            result.error <= bound + 1e-12,
+            "ER {} exceeds bound {bound}",
+            result.error
+        );
+        assert!(result.ratio_cpd <= 1.0 + 1e-9);
+    }
+    // At the loosest budget a 5% error rate must buy real delay.
+    let result = run_method(&ctx, Method::Dcgwo, 0.05, None, &cfg_for(effort, metric, 1));
+    assert!(
+        result.ratio_cpd < 1.0,
+        "5% ER bought no delay reduction (ratio {})",
+        result.ratio_cpd
+    );
+}
+
+#[test]
+#[ignore = "paper-scale (minutes); run with --ignored, TDALS_EFFORT=full for paper budgets"]
+fn dcgwo_tracks_single_chase_across_the_suite_subset() {
+    // The paper's headline: averaged over circuits, DCGWO's delay ratio
+    // beats the single-chase GWO under identical budgets.
+    let effort = Effort::from_env();
+    let mut ours = 0.0;
+    let mut gwo = 0.0;
+    let benches = effort.filter(vec![Benchmark::Max16, Benchmark::Adder16, Benchmark::C880]);
+    assert!(!benches.is_empty());
+    let seeds = [7u64, 8, 9];
+    for bench in &benches {
+        let (ctx, metric) = context_for(*bench, effort);
+        let bound = match metric {
+            tdals::sim::ErrorMetric::ErrorRate => 0.05,
+            tdals::sim::ErrorMetric::Nmed => 0.0244,
+        };
+        for seed in seeds {
+            let cfg = cfg_for(effort, metric, seed);
+            ours += run_method(&ctx, Method::Dcgwo, bound, None, &cfg).ratio_cpd;
+            gwo += run_method(&ctx, Method::SingleChaseGwo, bound, None, &cfg).ratio_cpd;
+        }
+    }
+    let n = (benches.len() * seeds.len()) as f64;
+    assert!(
+        ours / n <= gwo / n + 0.05,
+        "DCGWO avg ratio {} vs single-chase {}",
+        ours / n,
+        gwo / n
+    );
+}

@@ -1,0 +1,107 @@
+//! Pins the umbrella crate's re-export surface: every module advertised
+//! in the `tdals` crate docs (`netlist`, `sim`, `sta`, `circuits`,
+//! `core`, `baselines`) must resolve and expose its documented types.
+//! Everything here goes through `tdals::…` paths only — no direct
+//! `tdals_*` crate imports — so a broken re-export is a compile error.
+
+use tdals::baselines::{Method, MethodConfig, ALL_METHODS};
+use tdals::circuits::{Benchmark, CircuitClass, ALL_BENCHMARKS};
+use tdals::core::{ChaseStrategy, EvalContext, FlowConfig, OptimizerConfig, PostOptConfig};
+use tdals::netlist::builder::Builder;
+use tdals::netlist::cell::{Cell, CellFunc, Drive};
+use tdals::netlist::{verilog, GateId, Netlist, SignalRef};
+use tdals::sim::{simulate, ErrorMetric, Patterns};
+use tdals::sta::{analyze, SizingConfig, TimingConfig};
+
+#[test]
+fn netlist_surface_resolves() {
+    let mut b = Builder::new("reexport");
+    let a = b.input("a");
+    let x = b.input("x");
+    let g = b.and(a, x);
+    b.output("y", g);
+    let n: Netlist = b.finish();
+    assert_eq!(n.input_count(), 2);
+    assert_eq!(n.output_count(), 1);
+
+    // Low-level types are reachable through the umbrella too.
+    let cell = Cell::new(CellFunc::And2, Drive::X1);
+    assert!(cell.area() > 0.0);
+    let _id: GateId = GateId::new(0);
+    let _const0: SignalRef = SignalRef::Const0;
+
+    // Verilog I/O round-trips through the re-exported module.
+    let text = verilog::to_verilog(&n);
+    let again = verilog::parse(&text).expect("umbrella verilog parses");
+    assert_eq!(again.input_count(), n.input_count());
+}
+
+#[test]
+fn sim_surface_resolves() {
+    let n = Benchmark::Int2float.build();
+    let p = Patterns::random(n.input_count(), 256, 3);
+    let r = simulate(&n, &p);
+    assert_eq!(tdals::sim::error_rate(&r, &r), 0.0);
+    assert_eq!(tdals::sim::nmed(&r, &r), 0.0);
+    assert_eq!(ErrorMetric::Nmed.compute(&r, &r), 0.0);
+}
+
+#[test]
+fn sta_surface_resolves() {
+    let n = Benchmark::Adder16.build();
+    let report = analyze(&n, &TimingConfig::default());
+    assert!(report.critical_path_delay() > 0.0);
+    let _sizing = SizingConfig::default();
+}
+
+#[test]
+fn circuits_surface_resolves() {
+    assert_eq!(ALL_BENCHMARKS.len(), 15, "TABLE I has 15 circuits");
+    assert_eq!(Benchmark::C880.class(), CircuitClass::RandomControl);
+    assert_eq!(Benchmark::Max16.class(), CircuitClass::Arithmetic);
+}
+
+#[test]
+fn core_surface_resolves() {
+    let cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
+    assert_eq!(cfg.error_bound, 0.0244);
+    let opt = OptimizerConfig::default();
+    assert_eq!(opt.chase, ChaseStrategy::DoubleChase);
+    let n = Benchmark::Int2float.build();
+    let _post = PostOptConfig::new(n.area_live());
+    let ctx = EvalContext::new(
+        &n,
+        Patterns::random(n.input_count(), 256, 4),
+        ErrorMetric::Nmed,
+        TimingConfig::default(),
+        0.8,
+    );
+    assert!(ctx.cpd_ori() > 0.0);
+}
+
+#[test]
+fn baselines_surface_resolves() {
+    assert!(ALL_METHODS.contains(&Method::Dcgwo));
+    let cfg = MethodConfig {
+        population: 4,
+        iterations: 2,
+        level_we: 0.2,
+        seed: 1,
+    };
+    assert_eq!(cfg.population, 4);
+}
+
+#[test]
+fn quickstart_types_compose_across_reexports() {
+    // The crate-docs quickstart in miniature: umbrella paths from every
+    // module cooperating in one flow invocation.
+    let accurate = Benchmark::Int2float.build();
+    let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.02);
+    cfg.vectors = 256;
+    cfg.optimizer.population = 4;
+    cfg.optimizer.iterations = 2;
+    let result = tdals::core::run_flow(&accurate, &cfg);
+    assert!(result.error <= 0.02 + 1e-12);
+    assert!(result.ratio_cpd <= 1.0 + 1e-9);
+    result.netlist.check_invariants().expect("valid result");
+}

@@ -1,0 +1,102 @@
+//! Candidate scoring, full vs incremental: the optimizer's inner loop
+//! scores a mutated netlist against the golden circuit. Full scoring
+//! re-simulates every gate; incremental scoring (`DeltaSim::preview`)
+//! re-evaluates only the substitution's transitive fan-out cone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdals_circuits::Benchmark;
+use tdals_core::{random_lac, Lac};
+use tdals_sim::{simulate, DeltaSim, ErrorEvaluator, ErrorMetric, Patterns};
+
+const VECTORS: usize = 2048;
+const CANDIDATES: usize = 8;
+
+fn bench_candidate_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_scoring");
+    for bench in [Benchmark::C880, Benchmark::C6288, Benchmark::Sin] {
+        let netlist = bench.build();
+        let patterns = Patterns::random(netlist.input_count(), VECTORS, 7);
+        let evaluator = ErrorEvaluator::new(&netlist, patterns.clone(), ErrorMetric::ErrorRate);
+        let base = DeltaSim::new(netlist.clone(), &patterns);
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut lacs: Vec<Lac> = Vec::new();
+        while lacs.len() < CANDIDATES {
+            if let Some(lac) = random_lac(base.netlist(), &base, 64, &mut rng) {
+                lacs.push(lac);
+            }
+        }
+        let mutated: Vec<_> = lacs
+            .iter()
+            .map(|lac| {
+                let mut n = netlist.clone();
+                lac.apply(&mut n).expect("legal LAC");
+                n
+            })
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("full", bench.name()),
+            &mutated,
+            |b, mutated| {
+                b.iter(|| {
+                    mutated
+                        .iter()
+                        .map(|n| evaluator.error_of_sim(&simulate(n, &patterns)))
+                        .sum::<f64>()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("delta", bench.name()), &lacs, |b, lacs| {
+            b.iter(|| {
+                lacs.iter()
+                    .map(|lac| evaluator.error_of_sim(&base.preview(lac.target(), lac.switch())))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_committed_chain(c: &mut Criterion) {
+    // A chain of committed LACs, as in population seeding: DeltaSim
+    // updates in place vs full re-simulation after every substitution.
+    let netlist = Benchmark::C6288.build();
+    let patterns = Patterns::random(netlist.input_count(), VECTORS, 7);
+    let base = DeltaSim::new(netlist.clone(), &patterns);
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut lacs: Vec<Lac> = Vec::new();
+    let mut probe = base.clone();
+    while lacs.len() < CANDIDATES {
+        if let Some(lac) = random_lac(probe.netlist(), &probe, 64, &mut rng) {
+            probe.substitute(lac.target(), lac.switch()).expect("legal");
+            lacs.push(lac);
+        }
+    }
+
+    let mut group = c.benchmark_group("committed_lac_chain");
+    group.bench_function("full/c6288", |b| {
+        b.iter(|| {
+            let mut n = netlist.clone();
+            for lac in &lacs {
+                lac.apply(&mut n).expect("legal");
+                criterion::black_box(simulate(&n, &patterns));
+            }
+        })
+    });
+    group.bench_function("delta/c6288", |b| {
+        b.iter(|| {
+            let mut d = base.clone();
+            for lac in &lacs {
+                d.substitute(lac.target(), lac.switch()).expect("legal");
+            }
+            d
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_scoring, bench_committed_chain);
+criterion_main!(benches);

@@ -1,0 +1,363 @@
+//! Candidate-scoring benchmark: full re-simulation vs incremental cone
+//! re-simulation (`DeltaSim`), emitting the machine-readable
+//! `BENCH_delta_sim.json` consumed by the CI `bench-quick` gate.
+//!
+//! ```sh
+//! # Measure and write the report next to the repo root:
+//! cargo run --release -p tdals-bench --bin bench_delta_sim -- --out BENCH_delta_sim.json
+//!
+//! # CI gate: re-measure and compare against the committed baseline.
+//! cargo run --release -p tdals-bench --bin bench_delta_sim -- \
+//!     --check BENCH_delta_sim.json --out fresh.json
+//! ```
+//!
+//! For every suite circuit the harness drafts a pinned-seed set of
+//! candidate LACs from the optimizer's own distribution (critical-path
+//! targets, similarity-selected switches) and ranks each candidate
+//! twice:
+//!
+//! * **full** — the pre-incremental pipeline: clone the parent netlist,
+//!   apply the LAC, full simulation + full STA + error metric + live
+//!   area (`EvalContext::evaluate`);
+//! * **delta** — the incremental pipeline: `EvalContext::score_lac`,
+//!   which re-simulates and re-times only the substitution's affected
+//!   cone and updates area through the dead-cone cascade, without
+//!   materializing the mutant.
+//!
+//! Error terms are asserted bit-identical (timing/area to floating
+//! tolerance) before anything is timed. The regression check compares
+//! the **normalized** scoring cost (incremental time relative to the
+//! same run's full-pipeline time), so the gate is stable across runner
+//! hardware; it fails when the normalized cost regresses by more than
+//! 30% or the largest circuit's speedup drops below 5×.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdals_bench::json::Json;
+use tdals_bench::Effort;
+use tdals_circuits::{Benchmark, CircuitClass};
+use tdals_core::{propose_lac_with, EvalContext, Lac, SearchConfig};
+use tdals_sim::{ErrorMetric, Patterns};
+use tdals_sta::TimingConfig;
+
+/// Pinned defaults: the CI gate and the committed baseline must see the
+/// same workload.
+const DEFAULT_SEED: u64 = 0xDE17A;
+const DEFAULT_CANDIDATES: usize = 32;
+const DEFAULT_REPS: usize = 5;
+
+/// Regression tolerance of the CI gate (fractional).
+const REGRESSION_TOLERANCE: f64 = 0.30;
+/// Required full/incremental speedup on the largest suite circuit.
+const REQUIRED_SPEEDUP_LARGEST: f64 = 5.0;
+
+/// Size-spread suite: small control circuits through the largest
+/// arithmetic netlist (Sqrt, 14.7k gates).
+const SUITE: [Benchmark; 7] = [
+    Benchmark::C880,
+    Benchmark::C1908,
+    Benchmark::C6288,
+    Benchmark::C5315,
+    Benchmark::Adder,
+    Benchmark::Sin,
+    Benchmark::Sqrt,
+];
+
+struct CircuitReport {
+    name: String,
+    gates: usize,
+    vectors: usize,
+    candidates: usize,
+    full_us_per_cand: f64,
+    delta_us_per_cand: f64,
+    speedup: f64,
+    mean_cone_gates: f64,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = flag(&args, "--seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(DEFAULT_SEED);
+    let candidates: usize = flag(&args, "--candidates")
+        .map(|s| s.parse().expect("--candidates takes an integer"))
+        .unwrap_or(DEFAULT_CANDIDATES);
+    let reps: usize = flag(&args, "--reps")
+        .map(|s| s.parse().expect("--reps takes an integer"))
+        .unwrap_or(DEFAULT_REPS);
+    let out = flag(&args, "--out");
+    let check = flag(&args, "--check");
+    let effort = Effort::from_env();
+
+    let mut reports = Vec::new();
+    for bench in SUITE {
+        reports.push(measure(bench, effort, seed, candidates, reps));
+    }
+
+    let report = to_json(&reports, seed, candidates, effort);
+    let text = format!("{report}\n");
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
+        let baseline =
+            Json::parse(&baseline_text).unwrap_or_else(|e| panic!("parsing {baseline_path}: {e}"));
+        let failures = gate(&report, &baseline);
+        if failures.is_empty() {
+            eprintln!("bench gate: OK (no candidate-scoring regression vs {baseline_path})");
+        } else {
+            for f in &failures {
+                eprintln!("bench gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Scores `candidates` pinned-seed LACs on one circuit through both
+/// pipelines, asserting agreement, and times each.
+fn measure(
+    bench: Benchmark,
+    effort: Effort,
+    seed: u64,
+    candidates: usize,
+    reps: usize,
+) -> CircuitReport {
+    let netlist = bench.build();
+    let metric = match bench.class() {
+        CircuitClass::RandomControl => ErrorMetric::ErrorRate,
+        CircuitClass::Arithmetic => ErrorMetric::Nmed,
+    };
+    let vectors = effort.vectors(netlist.logic_gate_count());
+    let patterns = Patterns::random(netlist.input_count(), vectors, seed);
+    let ctx = EvalContext::new(&netlist, patterns, metric, TimingConfig::default(), 0.8);
+    let base = ctx.delta_eval(netlist.clone());
+    let report = base.report();
+
+    // Draft the candidate set once from the optimizer's own hot-path
+    // distribution; both pipelines rank the same LACs.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+    let cfg = SearchConfig::default();
+    let mut lacs: Vec<Lac> = Vec::with_capacity(candidates);
+    let mut attempts = 0usize;
+    while lacs.len() < candidates {
+        attempts += 1;
+        assert!(
+            attempts <= candidates * 20,
+            "{}: drafted only {} of {candidates} candidate LACs after {attempts} attempts \
+             (degenerate circuit or stimulus?)",
+            bench.name(),
+            lacs.len(),
+        );
+        if let Some(lac) = propose_lac_with(base.netlist(), &report, base.sim(), &cfg, &mut rng) {
+            lacs.push(lac);
+        }
+    }
+
+    // Correctness first: both pipelines must agree before being timed.
+    let mut cone_total = 0usize;
+    for lac in &lacs {
+        let mut mutant = netlist.clone();
+        lac.apply(&mut mutant).expect("legal LAC");
+        let full = ctx.evaluate(mutant);
+        let view = base.sim().preview(lac.target(), lac.switch());
+        cone_total += view.stats().reevaluated();
+        let delta = ctx.score_lac(&base, *lac);
+        assert!(
+            full.error == delta.error,
+            "{}: delta error {} diverged from full error {} on {:?}",
+            bench.name(),
+            delta.error,
+            full.error,
+            lac
+        );
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        assert!(
+            full.depth == delta.depth && close(full.cpd, delta.cpd) && close(full.area, delta.area),
+            "{}: delta timing/area diverged on {:?}: depth {} vs {}, cpd {} vs {}, area {} vs {}",
+            bench.name(),
+            lac,
+            delta.depth,
+            full.depth,
+            delta.cpd,
+            full.cpd,
+            delta.area,
+            full.area,
+        );
+    }
+
+    // Best-of-reps timing, whole candidate set per rep.
+    let mut full_best = f64::INFINITY;
+    let mut delta_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for lac in &lacs {
+            let mut mutant = netlist.clone();
+            lac.apply(&mut mutant).expect("legal LAC");
+            std::hint::black_box(ctx.evaluate(mutant));
+        }
+        full_best = full_best.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for lac in &lacs {
+            std::hint::black_box(ctx.score_lac(&base, *lac));
+        }
+        delta_best = delta_best.min(t.elapsed().as_secs_f64());
+    }
+
+    let full_us = full_best * 1e6 / candidates as f64;
+    let delta_us = delta_best * 1e6 / candidates as f64;
+    let report = CircuitReport {
+        name: bench.name().to_string(),
+        gates: netlist.logic_gate_count(),
+        vectors,
+        candidates,
+        full_us_per_cand: full_us,
+        delta_us_per_cand: delta_us,
+        speedup: full_us / delta_us,
+        mean_cone_gates: cone_total as f64 / candidates as f64,
+    };
+    eprintln!(
+        "{:<10} {:>6} gates  full {:>10.1} us/cand  delta {:>8.1} us/cand  speedup {:>6.1}x  cone {:>7.1}",
+        report.name, report.gates, full_us, delta_us, report.speedup, report.mean_cone_gates
+    );
+    report
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn to_json(reports: &[CircuitReport], seed: u64, candidates: usize, effort: Effort) -> Json {
+    let largest = reports
+        .iter()
+        .max_by_key(|r| r.gates)
+        .expect("non-empty suite");
+    Json::Obj(vec![
+        ("schema".into(), Json::Num(1.0)),
+        ("bench".into(), Json::Str("delta_sim".into())),
+        ("seed".into(), Json::Num(seed as f64)),
+        ("candidates".into(), Json::Num(candidates as f64)),
+        ("effort".into(), Json::Str(format!("{effort:?}"))),
+        (
+            "circuits".into(),
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(r.name.clone())),
+                            ("gates".into(), Json::Num(r.gates as f64)),
+                            ("vectors".into(), Json::Num(r.vectors as f64)),
+                            ("candidates".into(), Json::Num(r.candidates as f64)),
+                            (
+                                "full_us_per_cand".into(),
+                                Json::Num(round2(r.full_us_per_cand)),
+                            ),
+                            (
+                                "delta_us_per_cand".into(),
+                                Json::Num(round2(r.delta_us_per_cand)),
+                            ),
+                            ("speedup".into(), Json::Num(round2(r.speedup))),
+                            (
+                                "normalized_cost".into(),
+                                Json::Num(round2(r.delta_us_per_cand / r.full_us_per_cand * 100.0)),
+                            ),
+                            (
+                                "mean_cone_gates".into(),
+                                Json::Num(round2(r.mean_cone_gates)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "largest".into(),
+            Json::Obj(vec![
+                ("name".into(), Json::Str(largest.name.clone())),
+                ("gates".into(), Json::Num(largest.gates as f64)),
+                ("speedup".into(), Json::Num(round2(largest.speedup))),
+            ]),
+        ),
+    ])
+}
+
+/// The CI gate: compares a fresh report against the committed baseline.
+/// Returns human-readable failure descriptions (empty = pass).
+fn gate(fresh: &Json, baseline: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    // 1. The headline claim must keep holding on this machine.
+    let largest = fresh.get("largest").expect("fresh report has `largest`");
+    let speedup = largest
+        .get("speedup")
+        .and_then(Json::as_f64)
+        .expect("largest.speedup");
+    let name = largest
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("<unknown>");
+    if speedup < REQUIRED_SPEEDUP_LARGEST {
+        failures.push(format!(
+            "largest circuit {name}: incremental scoring speedup {speedup:.2}x \
+             below the required {REQUIRED_SPEEDUP_LARGEST:.0}x"
+        ));
+    }
+
+    // 2. Normalized candidate-scoring cost must not regress > 30% on
+    //    any circuit present in both reports. (Normalizing by the same
+    //    run's full-resimulation time cancels runner hardware.)
+    let empty = Vec::new();
+    let base_circuits = baseline
+        .get("circuits")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let fresh_circuits = fresh
+        .get("circuits")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    for fc in fresh_circuits {
+        let fc_name = fc.get("name").and_then(Json::as_str).unwrap_or_default();
+        let Some(bc) = base_circuits
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some(fc_name))
+        else {
+            continue;
+        };
+        let norm = |c: &Json| -> Option<f64> {
+            let full = c.get("full_us_per_cand")?.as_f64()?;
+            let delta = c.get("delta_us_per_cand")?.as_f64()?;
+            (full > 0.0).then_some(delta / full)
+        };
+        let (Some(fresh_norm), Some(base_norm)) = (norm(fc), norm(bc)) else {
+            failures.push(format!("{fc_name}: report missing timing fields"));
+            continue;
+        };
+        if fresh_norm > base_norm * (1.0 + REGRESSION_TOLERANCE) {
+            failures.push(format!(
+                "{fc_name}: normalized candidate-scoring cost {:.2}% of full resim \
+                 regressed more than {:.0}% over the baseline's {:.2}%",
+                fresh_norm * 100.0,
+                REGRESSION_TOLERANCE * 100.0,
+                base_norm * 100.0,
+            ));
+        }
+    }
+    failures
+}

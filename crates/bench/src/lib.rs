@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod json;
+
 use tdals_circuits::Benchmark;
 use tdals_core::EvalContext;
 use tdals_sim::{ErrorMetric, Patterns};

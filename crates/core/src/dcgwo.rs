@@ -14,12 +14,14 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tdals_sim::DeltaSim;
 
-use crate::fitness::{Candidate, EvalContext};
+use crate::fitness::{Candidate, DeltaEval, EvalContext, LacScore};
+use crate::lac::Lac;
 use crate::pareto::{select, Objectives};
 use crate::reproduce::{reproduce, LevelWeights};
 use crate::schedule::ErrorSchedule;
-use crate::search::{search_step, SearchConfig};
+use crate::search::{propose_lac_with, SearchConfig};
 
 /// Population-guidance strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +72,13 @@ pub struct OptimizerConfig {
     /// Enables the circuit-reproduction action (ablation knob; with it
     /// off, every action is circuit searching).
     pub reproduction: bool,
+    /// Re-base period for the incremental simulation engine: after this
+    /// many committed LACs a [`tdals_sim::DeltaSim`] chain discards its
+    /// state and fully re-simulates, bounding any drift the
+    /// incrementally maintained bookkeeping could accumulate. `0` never re-bases
+    /// (incremental results are bit-identical by construction, so this
+    /// is a defense-in-depth knob, not a correctness requirement).
+    pub full_resim_every_n: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -88,6 +97,7 @@ impl Default for OptimizerConfig {
             seed: 0xDC6E0,
             threads: 1,
             reproduction: true,
+            full_resim_every_n: 64,
         }
     }
 }
@@ -157,21 +167,35 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
 
     // Initial population: LACs on randomly selected target gates of the
     // accurate circuit; member 0 stays accurate as a feasible anchor.
-    let accurate = ctx.evaluate(ctx.accurate().clone());
+    // The context's golden simulation already covers the accurate
+    // circuit on the shared stimulus, so the DeltaSim base wraps it
+    // instead of re-simulating; each member's LAC chain then
+    // re-evaluates only the mutated cones.
+    let base_delta = DeltaSim::from_result(
+        ctx.accurate().clone(),
+        ctx.evaluator().patterns().clone(),
+        ctx.evaluator().golden().clone(),
+    )
+    .with_full_resim_every(cfg.full_resim_every_n);
+    let accurate = ctx.evaluate_delta(&base_delta);
     let mut population: Vec<Candidate> = Vec::with_capacity(cfg.population);
     let mut best = accurate.clone();
     population.push(accurate.clone());
     while population.len() < cfg.population {
-        let mut netlist = accurate.netlist.clone();
+        let mut member = base_delta.clone();
         for _ in 0..cfg.initial_lacs.max(1) {
-            let sim = ctx.simulate(&netlist);
-            if let Some(lac) =
-                crate::lac::random_lac(&netlist, &sim, cfg.search.max_switch_candidates, &mut rng)
-            {
-                lac.apply(&mut netlist).expect("legal LAC");
+            if let Some(lac) = crate::lac::random_lac(
+                member.netlist(),
+                &member,
+                cfg.search.max_switch_candidates,
+                &mut rng,
+            ) {
+                member
+                    .substitute(lac.target(), lac.switch())
+                    .expect("legal LAC");
             }
         }
-        let cand = ctx.evaluate(netlist);
+        let cand = ctx.evaluate_delta(&member);
         track_best(&mut best, &cand, error_bound);
         population.push(cand);
     }
@@ -182,28 +206,36 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
         let a = 2.0 - 2.0 * iter as f64 / cfg.iterations.max(1) as f64;
         sort_by_fitness(&mut population);
 
+        // With worker threads, build each member's scoring base (the
+        // expensive full sim + STA) in parallel before the serial,
+        // RNG-owning chase.
+        let mut bases = prebuild_bases(ctx, &population, cfg);
         let offspring = match cfg.chase {
             ChaseStrategy::DoubleChase => {
-                double_chase(ctx, &population, a, cfg, &weights, &mut rng)
+                double_chase(ctx, &population, &mut bases, a, cfg, &weights, &mut rng)
             }
             ChaseStrategy::SingleChase => {
-                single_chase(ctx, &population, a, cfg, &weights, &mut rng)
+                single_chase(ctx, &population, &mut bases, a, cfg, &weights, &mut rng)
             }
         };
 
-        // Candidates group: circuits before and after the chase.
-        let mut candidates = population;
-        for cand in evaluate_batch(ctx, offspring, cfg.threads) {
-            track_best(&mut best, &cand, error_bound);
-            candidates.push(cand);
+        // Candidates group: circuits before and after the chase. New
+        // offspring stay un-materialized (scores only) until they
+        // survive selection.
+        let mut candidates: Vec<PoolEntry> = population.into_iter().map(PoolEntry::Ready).collect();
+        for entry in evaluate_batch(ctx, offspring, cfg.threads) {
+            if entry.error() <= error_bound && entry.fitness() > best.fitness {
+                best = entry.to_candidate();
+            }
+            candidates.push(entry);
         }
 
         // Error filter at the current (relaxed) constraint, with a
         // lowest-error fallback so the population never dies out.
-        let mut feasible: Vec<Candidate> = Vec::with_capacity(candidates.len());
-        let mut infeasible: Vec<Candidate> = Vec::new();
+        let mut feasible: Vec<PoolEntry> = Vec::with_capacity(candidates.len());
+        let mut infeasible: Vec<PoolEntry> = Vec::new();
         for cand in candidates {
-            if cand.error <= constraint {
+            if cand.error() <= constraint {
                 feasible.push(cand);
             } else {
                 infeasible.push(cand);
@@ -211,20 +243,23 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
         }
         let feasible_count = feasible.len();
         if feasible.len() < cfg.population {
-            infeasible.sort_by(|x, y| x.error.total_cmp(&y.error));
+            infeasible.sort_by(|x, y| x.error().total_cmp(&y.error()));
             feasible.extend(infeasible.into_iter().take(cfg.population - feasible.len()));
         }
 
-        // Non-dominated sorting + crowding selection down to N.
-        let points: Vec<Objectives> = feasible
-            .iter()
-            .map(|c| Objectives::new(c.fd, c.fa))
-            .collect();
+        // Non-dominated sorting + crowding selection down to N; only
+        // the survivors pay the netlist materialization.
+        let points: Vec<Objectives> = feasible.iter().map(PoolEntry::objectives).collect();
         let keep = select(&points, cfg.population);
         let mut next: Vec<Candidate> = Vec::with_capacity(keep.len());
-        let mut taken: Vec<Option<Candidate>> = feasible.into_iter().map(Some).collect();
+        let mut taken: Vec<Option<PoolEntry>> = feasible.into_iter().map(Some).collect();
         for idx in keep {
-            next.push(taken[idx].take().expect("selection indices are unique"));
+            next.push(
+                taken[idx]
+                    .take()
+                    .expect("selection indices are unique")
+                    .into_candidate(),
+            );
         }
         population = next;
 
@@ -250,19 +285,117 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
     }
 }
 
-/// Evaluates offspring, fanning out over `threads` workers when asked.
-/// The output order always matches the input order, so parallel and
-/// serial runs are bit-identical.
-fn evaluate_batch(
-    ctx: &EvalContext,
-    offspring: Vec<tdals_netlist::Netlist>,
-    threads: usize,
-) -> Vec<Candidate> {
-    if threads <= 1 || offspring.len() <= 1 {
-        return offspring.into_iter().map(|n| ctx.evaluate(n)).collect();
+/// One chase product awaiting evaluation.
+///
+/// Search children keep the parent's scoring state plus the proposed
+/// LAC so ranking re-evaluates only the substitution's affected cone;
+/// reproduced children (whole fan-in rows copied between parents) have
+/// no single-cone provenance and are scored with a full evaluation.
+enum Offspring {
+    /// Score with a full evaluation.
+    Full(tdals_netlist::Netlist),
+    /// Score incrementally: `base` holds the pre-LAC netlist with its
+    /// simulated words and timing state; the candidate is `base` +
+    /// `lac`.
+    Scored { base: Box<DeltaEval>, lac: Lac },
+}
+
+/// A scored member of the survivor-selection pool. Lazy entries defer
+/// netlist materialization until they actually survive selection (or
+/// set a new best): losing candidates never pay a netlist clone, and a
+/// surviving one materializes by mutating the owned base netlist in
+/// place. The heavy scoring state (simulated words, timing arrays) is
+/// dropped as soon as the score is computed.
+enum PoolEntry {
+    Ready(Candidate),
+    Lazy {
+        /// The pre-LAC base netlist, owned.
+        netlist: tdals_netlist::Netlist,
+        lac: Lac,
+        score: LacScore,
+    },
+}
+
+impl PoolEntry {
+    fn error(&self) -> f64 {
+        match self {
+            PoolEntry::Ready(c) => c.error,
+            PoolEntry::Lazy { score, .. } => score.error,
+        }
     }
-    let jobs: Vec<(usize, tdals_netlist::Netlist)> = offspring.into_iter().enumerate().collect();
-    let mut results: Vec<Option<Candidate>> = (0..jobs.len()).map(|_| None).collect();
+
+    fn fitness(&self) -> f64 {
+        match self {
+            PoolEntry::Ready(c) => c.fitness,
+            PoolEntry::Lazy { score, .. } => score.fitness,
+        }
+    }
+
+    fn objectives(&self) -> Objectives {
+        match self {
+            PoolEntry::Ready(c) => Objectives::new(c.fd, c.fa),
+            PoolEntry::Lazy { score, .. } => Objectives::new(score.fd, score.fa),
+        }
+    }
+
+    /// Materializes without consuming (used by best-so-far tracking).
+    fn to_candidate(&self) -> Candidate {
+        match self {
+            PoolEntry::Ready(c) => c.clone(),
+            PoolEntry::Lazy {
+                netlist,
+                lac,
+                score,
+            } => {
+                let mut netlist = netlist.clone();
+                lac.apply(&mut netlist).expect("scored LAC is legal");
+                score.clone().into_candidate(netlist)
+            }
+        }
+    }
+
+    /// Materializes, consuming the entry (used for survivors); the
+    /// owned base netlist is mutated in place — no clone.
+    fn into_candidate(self) -> Candidate {
+        match self {
+            PoolEntry::Ready(c) => c,
+            PoolEntry::Lazy {
+                mut netlist,
+                lac,
+                score,
+            } => {
+                lac.apply(&mut netlist).expect("scored LAC is legal");
+                score.into_candidate(netlist)
+            }
+        }
+    }
+}
+
+/// Scores offspring into pool entries, fanning out over `threads`
+/// workers when asked. The output order always matches the input
+/// order, so parallel and serial runs are bit-identical.
+fn evaluate_batch(ctx: &EvalContext, offspring: Vec<Offspring>, threads: usize) -> Vec<PoolEntry> {
+    let eval_one = |off: Offspring| match off {
+        Offspring::Full(netlist) => PoolEntry::Ready(ctx.evaluate(netlist)),
+        Offspring::Scored { base, lac } => {
+            let score = ctx.score_lac(&base, lac);
+            // Keep only the base netlist; the simulated words and
+            // timing arrays are dead weight once the score exists.
+            PoolEntry::Lazy {
+                netlist: (*base).into_netlist(),
+                lac,
+                score,
+            }
+        }
+    };
+    if threads <= 1 || offspring.len() <= 1 {
+        return offspring.into_iter().map(eval_one).collect();
+    }
+    let jobs: Vec<std::sync::Mutex<Option<Offspring>>> = offspring
+        .into_iter()
+        .map(|o| std::sync::Mutex::new(Some(o)))
+        .collect();
+    let mut results: Vec<Option<PoolEntry>> = (0..jobs.len()).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let jobs_ref = &jobs;
     let next_ref = &next;
@@ -274,10 +407,14 @@ fn evaluate_batch(
                 if i >= jobs_ref.len() {
                     break;
                 }
-                let (slot, netlist) = &jobs_ref[i];
-                let cand = ctx.evaluate(netlist.clone());
+                let off = jobs_ref[i]
+                    .lock()
+                    .expect("no poisoned jobs")
+                    .take()
+                    .expect("each job taken once");
+                let entry = eval_one(off);
                 let mut guard = slots.lock().expect("no poisoned evaluators");
-                guard[*slot] = Some(cand);
+                guard[i] = Some(entry);
             });
         }
     });
@@ -310,22 +447,94 @@ fn decision_parameter<R: Rng>(guide_fitness: f64, own_fitness: f64, a: f64, rng:
 fn search_child<R: Rng>(
     ctx: &EvalContext,
     parent: &Candidate,
+    prebuilt: Option<DeltaEval>,
     cfg: &OptimizerConfig,
     rng: &mut R,
-) -> tdals_netlist::Netlist {
-    let mut netlist = parent.netlist.clone();
-    search_step(ctx, &mut netlist, &cfg.search, rng);
-    netlist
+) -> Offspring {
+    let base = prebuilt.unwrap_or_else(|| {
+        ctx.delta_eval(parent.netlist.clone())
+            .with_full_resim_every(cfg.full_resim_every_n)
+    });
+    propose_into_offspring(base, cfg, rng)
+}
+
+/// Simulates and times `netlist` once (the simulation feeds
+/// similarity-based switch selection, the timing feeds critical-path
+/// target collection), proposes a circuit-searching LAC, and packages
+/// both so the scoring pass re-evaluates just the affected cone.
+fn searched_offspring<R: Rng>(
+    ctx: &EvalContext,
+    netlist: tdals_netlist::Netlist,
+    cfg: &OptimizerConfig,
+    rng: &mut R,
+) -> Offspring {
+    let base = ctx
+        .delta_eval(netlist)
+        .with_full_resim_every(cfg.full_resim_every_n);
+    propose_into_offspring(base, cfg, rng)
+}
+
+fn propose_into_offspring<R: Rng>(
+    base: DeltaEval,
+    cfg: &OptimizerConfig,
+    rng: &mut R,
+) -> Offspring {
+    let report = base.report();
+    match propose_lac_with(base.netlist(), &report, base.sim(), &cfg.search, rng) {
+        Some(lac) => Offspring::Scored {
+            base: Box::new(base),
+            lac,
+        },
+        None => Offspring::Full(base.into_netlist()),
+    }
+}
+
+/// Builds the per-member scoring bases (one full simulation + STA
+/// each) ahead of the chase, in parallel, so the expensive part of
+/// offspring construction scales with the `threads` knob. The chase
+/// itself stays serial (it owns the RNG stream); base construction
+/// draws no randomness, so parallel and serial runs stay bit-identical.
+/// With `threads <= 1` nothing is prebuilt — members that end up
+/// reproducing instead of searching then never pay for a base.
+fn prebuild_bases(
+    ctx: &EvalContext,
+    population: &[Candidate],
+    cfg: &OptimizerConfig,
+) -> Vec<Option<DeltaEval>> {
+    if cfg.threads <= 1 || population.is_empty() {
+        return population.iter().map(|_| None).collect();
+    }
+    let mut bases: Vec<Option<DeltaEval>> = population.iter().map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next_ref = &next;
+    let slots = std::sync::Mutex::new(&mut bases);
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads.min(population.len()) {
+            scope.spawn(|| loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= population.len() {
+                    break;
+                }
+                let base = ctx
+                    .delta_eval(population[i].netlist.clone())
+                    .with_full_resim_every(cfg.full_resim_every_n);
+                let mut guard = slots.lock().expect("no poisoned prebuilders");
+                guard[i] = Some(base);
+            });
+        }
+    });
+    bases
 }
 
 fn double_chase<R: Rng>(
     ctx: &EvalContext,
     population: &[Candidate],
+    bases: &mut [Option<DeltaEval>],
     a: f64,
     cfg: &OptimizerConfig,
     weights: &LevelWeights,
     rng: &mut R,
-) -> Vec<tdals_netlist::Netlist> {
+) -> Vec<Offspring> {
     let n = population.len();
     let mut offspring = Vec::new();
     if n == 0 {
@@ -350,44 +559,45 @@ fn double_chase<R: Rng>(
         if w > cfg.elite_threshold && cfg.reproduction {
             // Reproduce with a circuit of superior fitness.
             let partner = &population[rng.gen_range(0..rank)];
-            offspring.push(reproduce(ci, partner, weights));
+            offspring.push(Offspring::Full(reproduce(ci, partner, weights)));
         } else {
-            offspring.push(search_child(ctx, ci, cfg, rng));
+            offspring.push(search_child(ctx, ci, bases[rank].take(), cfg, rng));
         }
     }
 
     // Chase 2: the elites guide the ω group.
-    for ci in &population[elite_end..] {
+    for idx in elite_end..n {
+        let ci = &population[idx];
         let w = decision_parameter(elite_mean, ci.fitness, a, rng);
         let elite_partner = &population[rng.gen_range(0..elite_end)];
         if !cfg.reproduction {
-            offspring.push(search_child(ctx, ci, cfg, rng));
+            offspring.push(search_child(ctx, ci, bases[idx].take(), cfg, rng));
         } else if w > cfg.omega_threshold {
             // Both actions compound on one circuit: reproduce with an
             // elite, then search the child.
-            let mut child = reproduce(ci, elite_partner, weights);
-            search_step(ctx, &mut child, &cfg.search, rng);
-            offspring.push(child);
+            let child = reproduce(ci, elite_partner, weights);
+            offspring.push(searched_offspring(ctx, child, cfg, rng));
         } else if rng.gen_bool(0.5) {
-            offspring.push(search_child(ctx, ci, cfg, rng));
+            offspring.push(search_child(ctx, ci, bases[idx].take(), cfg, rng));
         } else {
-            offspring.push(reproduce(ci, elite_partner, weights));
+            offspring.push(Offspring::Full(reproduce(ci, elite_partner, weights)));
         }
     }
 
     // The leader searches after the chase to keep its variability.
-    offspring.push(search_child(ctx, leader, cfg, rng));
+    offspring.push(search_child(ctx, leader, bases[0].take(), cfg, rng));
     offspring
 }
 
 fn single_chase<R: Rng>(
     ctx: &EvalContext,
     population: &[Candidate],
+    bases: &mut [Option<DeltaEval>],
     a: f64,
     cfg: &OptimizerConfig,
     weights: &LevelWeights,
     rng: &mut R,
-) -> Vec<tdals_netlist::Netlist> {
+) -> Vec<Offspring> {
     let n = population.len();
     let mut offspring = Vec::new();
     if n == 0 {
@@ -397,17 +607,24 @@ fn single_chase<R: Rng>(
     // threshold and no finer hierarchy.
     let leader_end = n.min(3);
     let alpha = &population[0];
-    for ci in &population[leader_end..] {
+    for idx in leader_end..n {
+        let ci = &population[idx];
         let w = decision_parameter(alpha.fitness, ci.fitness, a, rng);
         if w > cfg.elite_threshold && cfg.reproduction {
             let partner = &population[rng.gen_range(0..leader_end)];
-            offspring.push(reproduce(ci, partner, weights));
+            offspring.push(Offspring::Full(reproduce(ci, partner, weights)));
         } else {
-            offspring.push(search_child(ctx, ci, cfg, rng));
+            offspring.push(search_child(ctx, ci, bases[idx].take(), cfg, rng));
         }
     }
-    for leader in &population[..leader_end] {
-        offspring.push(search_child(ctx, leader, cfg, rng));
+    for idx in 0..leader_end {
+        offspring.push(search_child(
+            ctx,
+            &population[idx],
+            bases[idx].take(),
+            cfg,
+            rng,
+        ));
     }
     offspring
 }

@@ -1,9 +1,13 @@
 //! Circuit fitness evaluation (Eq. 8 of the paper) and the evaluated
 //! candidate representation shared by all optimizers.
 
-use tdals_netlist::Netlist;
-use tdals_sim::{ErrorEvaluator, ErrorMetric, Patterns, SimResult};
-use tdals_sta::{analyze, TimingConfig, TimingReport};
+use std::collections::HashMap;
+
+use tdals_netlist::{GateId, Netlist, SignalRef};
+use tdals_sim::{DeltaSim, ErrorEvaluator, ErrorMetric, Patterns, SimResult, SimWords};
+use tdals_sta::{analyze, IncrementalSta, TimingConfig, TimingReport};
+
+use crate::lac::Lac;
 
 /// An approximate circuit together with every quantity the optimizers
 /// need: depth, critical-path delay, live area, error, and the per-PO
@@ -33,6 +37,190 @@ pub struct Candidate {
     pub po_arrivals: Vec<f64>,
     /// Error contribution per PO (`Error` in Eq. 3).
     pub po_errors: Vec<f64>,
+}
+
+/// Every quantity of a [`Candidate`] except the materialized netlist.
+///
+/// Produced by [`EvalContext::score_lac`], which ranks a prospective
+/// substitution in O(affected cone) without cloning the parent netlist;
+/// candidates that survive selection are materialized afterwards with
+/// [`LacScore::into_candidate`].
+#[derive(Debug, Clone)]
+pub struct LacScore {
+    /// Maximum logic depth over POs (`Depth_app`).
+    pub depth: u32,
+    /// Critical path delay in ps.
+    pub cpd: f64,
+    /// Live (non-dangling) area in µm² (`Area_app`).
+    pub area: f64,
+    /// Error vs the accurate circuit under the configured metric.
+    pub error: f64,
+    /// Depth objective `f_d = Depth_ori / Depth_app` (maximize).
+    pub fd: f64,
+    /// Area objective `f_a = Area_ori / Area_app` (maximize).
+    pub fa: f64,
+    /// Scalar fitness `Fit = wd·f_d + wa·f_a` (Eq. 8).
+    pub fitness: f64,
+    /// Arrival time per PO in ps.
+    pub po_arrivals: Vec<f64>,
+    /// Error contribution per PO.
+    pub po_errors: Vec<f64>,
+}
+
+impl LacScore {
+    /// Attaches a materialized netlist, completing the [`Candidate`].
+    pub fn into_candidate(self, netlist: Netlist) -> Candidate {
+        Candidate {
+            netlist,
+            depth: self.depth,
+            cpd: self.cpd,
+            area: self.area,
+            error: self.error,
+            fd: self.fd,
+            fa: self.fa,
+            fitness: self.fitness,
+            po_arrivals: self.po_arrivals,
+            po_errors: self.po_errors,
+        }
+    }
+}
+
+/// Incremental scoring state for one base netlist: simulated words
+/// ([`DeltaSim`]), timing state ([`IncrementalSta`]), and liveness
+/// reference counts for O(dead cone) area updates.
+///
+/// Built with one full simulation and one full STA pass; every
+/// [`EvalContext::score_lac`] against it then costs only the
+/// substitution's affected cone. This is what makes candidate scoring
+/// O(cone) instead of O(gates × words).
+#[derive(Debug, Clone)]
+pub struct DeltaEval {
+    sim: DeltaSim,
+    sta: IncrementalSta,
+    /// Liveness of each gate in the base netlist.
+    live: Vec<bool>,
+    /// Per gate: live reader pins + PO driver references (0 for dead
+    /// gates). A live gate dies when all of these references die.
+    live_refs: Vec<u32>,
+    /// `Area_app` of the base netlist.
+    area_live: f64,
+}
+
+impl DeltaEval {
+    fn new(sim: DeltaSim, sta: IncrementalSta) -> DeltaEval {
+        let netlist = sim.netlist();
+        let live = netlist.live_mask();
+        let mut live_refs = vec![0u32; netlist.gate_count()];
+        for (id, gate) in netlist.iter() {
+            if !live[id.index()] {
+                continue;
+            }
+            for fanin in gate.fanins() {
+                if let SignalRef::Gate(src) = fanin {
+                    live_refs[src.index()] += 1;
+                }
+            }
+        }
+        for (_, driver) in netlist.outputs() {
+            if let SignalRef::Gate(src) = driver {
+                live_refs[src.index()] += 1;
+            }
+        }
+        let area_live = netlist
+            .iter()
+            .filter(|(id, _)| live[id.index()])
+            .map(|(_, g)| g.cell().area())
+            .sum();
+        DeltaEval {
+            sim,
+            sta,
+            live,
+            live_refs,
+            area_live,
+        }
+    }
+
+    /// Sets the simulation engine's re-base period (see
+    /// [`DeltaSim::with_full_resim_every`]).
+    pub fn with_full_resim_every(mut self, n: usize) -> DeltaEval {
+        self.sim = self.sim.with_full_resim_every(n);
+        self
+    }
+
+    /// The base netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.sim.netlist()
+    }
+
+    /// Consumes the scoring state, returning the base netlist (the
+    /// simulated words and timing arrays are dropped).
+    pub fn into_netlist(self) -> Netlist {
+        self.sim.into_netlist()
+    }
+
+    /// The base simulation state (feeds similarity scoring).
+    pub fn sim(&self) -> &DeltaSim {
+        &self.sim
+    }
+
+    /// The base timing state.
+    pub fn sta(&self) -> &IncrementalSta {
+        &self.sta
+    }
+
+    /// Snapshot of the base timing as a [`TimingReport`] (feeds
+    /// critical-path target collection).
+    pub fn report(&self) -> TimingReport {
+        self.sta.to_report(self.sim.netlist())
+    }
+
+    /// `Area_app` of the base netlist in µm².
+    pub fn area_live(&self) -> f64 {
+        self.area_live
+    }
+
+    /// Live area of the circuit after substituting `target := switch`,
+    /// computed by cascading reference-count deaths through the
+    /// target's dead cone (no netlist clone, no full reachability
+    /// pass).
+    ///
+    /// The switch gate (when the target is live) necessarily lies in
+    /// the target's transitive fan-in and inherits the target's live
+    /// readers, so it survives; liveness can only shrink through the
+    /// target's cone.
+    pub fn area_after(&self, target: GateId, switch: SignalRef) -> f64 {
+        if !self.live[target.index()] {
+            // Substituting a dangling gate rewires only dangling
+            // readers: reachability from the POs is unchanged.
+            return self.area_live;
+        }
+        let netlist = self.sim.netlist();
+        let mut dead_area = netlist.gate(target).cell().area();
+        let mut dec: HashMap<GateId, u32> = HashMap::new();
+        let mut stack = vec![target];
+        while let Some(g) = stack.pop() {
+            for fanin in netlist.gate(g).fanins() {
+                let SignalRef::Gate(src) = *fanin else {
+                    continue;
+                };
+                // The switch keeps the target's live readers, and
+                // primary inputs always count as live.
+                if !self.live[src.index()]
+                    || SignalRef::Gate(src) == switch
+                    || netlist.gate(src).is_input()
+                {
+                    continue;
+                }
+                let d = dec.entry(src).or_insert(0);
+                *d += 1;
+                if *d == self.live_refs[src.index()] {
+                    stack.push(src);
+                    dead_area += netlist.gate(src).cell().area();
+                }
+            }
+        }
+        self.area_live - dead_area
+    }
 }
 
 /// Shared evaluation context: the accurate circuit's reference numbers,
@@ -147,6 +335,13 @@ impl EvalContext {
         self.evaluator.simulate(netlist)
     }
 
+    /// Builds an incremental simulation state for `netlist` on the
+    /// shared stimulus: one full simulation up front, O(affected cone)
+    /// per scored or committed substitution afterwards.
+    pub fn delta_sim(&self, netlist: Netlist) -> DeltaSim {
+        DeltaSim::new(netlist, self.evaluator.patterns())
+    }
+
     /// Runs STA on a netlist with the shared configuration.
     pub fn analyze(&self, netlist: &Netlist) -> TimingReport {
         analyze(netlist, &self.timing)
@@ -159,33 +354,106 @@ impl EvalContext {
         self.evaluate_with(netlist, &report, &sim)
     }
 
+    /// Builds the incremental scoring state for `netlist`: one full
+    /// simulation plus one full STA pass up front; every
+    /// [`EvalContext::score_lac`] against it is then O(affected cone).
+    pub fn delta_eval(&self, netlist: Netlist) -> DeltaEval {
+        let sta = IncrementalSta::new(&netlist, self.timing);
+        DeltaEval::new(DeltaSim::new(netlist, self.evaluator.patterns()), sta)
+    }
+
+    /// Scores the candidate obtained by applying `lac` to `base`'s
+    /// netlist **without materializing it**: error through the
+    /// simulation cone preview, timing through the STA cone preview,
+    /// and area through the dead-cone reference-count cascade.
+    ///
+    /// The error terms are bit-identical to a full
+    /// [`EvalContext::evaluate`] of the mutated netlist (the
+    /// incremental simulator shares its word expansion with the full
+    /// one); timing and area agree to floating-point settle tolerance.
+    pub fn score_lac(&self, base: &DeltaEval, lac: Lac) -> LacScore {
+        let view = base.sim().preview(lac.target(), lac.switch());
+        let error = self.evaluator.error_of_sim(&view);
+        let po_errors = self.evaluator.po_errors_of_sim(&view);
+        let timing = base
+            .sta()
+            .preview_substitute(base.netlist(), lac.target(), lac.switch());
+        let area = base.area_after(lac.target(), lac.switch());
+        self.score_from(
+            timing.max_depth(),
+            timing.critical_path_delay(),
+            area,
+            error,
+            timing.po_arrivals,
+            po_errors,
+        )
+    }
+
+    /// [`EvalContext::score_lac`] plus materialization of the mutated
+    /// netlist into a full [`Candidate`].
+    pub fn evaluate_lac(&self, base: &DeltaEval, lac: Lac) -> Candidate {
+        let score = self.score_lac(base, lac);
+        let mut netlist = base.netlist().clone();
+        lac.apply(&mut netlist)
+            .expect("a scored LAC respects the id invariant");
+        score.into_candidate(netlist)
+    }
+
+    /// Evaluates the incremental engine's current netlist into a
+    /// [`Candidate`] without any re-simulation (the engine's words are
+    /// already current).
+    pub fn evaluate_delta(&self, delta: &DeltaSim) -> Candidate {
+        let netlist = delta.netlist().clone();
+        let report = analyze(&netlist, &self.timing);
+        self.evaluate_with(netlist, &report, delta)
+    }
+
     /// Evaluates a netlist when STA and simulation results are already
     /// available (exposed so optimizers can reuse intermediate work; see
-    /// C-INTERMEDIATE).
-    pub fn evaluate_with(
+    /// C-INTERMEDIATE). `sim` may be any [`SimWords`] view — a full
+    /// [`SimResult`] or the incremental engine's state.
+    pub fn evaluate_with<V: SimWords>(
         &self,
         netlist: Netlist,
         report: &TimingReport,
-        sim: &SimResult,
+        sim: &V,
     ) -> Candidate {
         let error = self.evaluator.error_of_sim(sim);
         let po_errors = self.evaluator.po_errors_of_sim(sim);
-        let depth = report.max_depth();
-        let area = netlist.area_live();
+        self.score_from(
+            report.max_depth(),
+            report.critical_path_delay(),
+            netlist.area_live(),
+            error,
+            report.po_arrivals().to_vec(),
+            po_errors,
+        )
+        .into_candidate(netlist)
+    }
+
+    /// Assembles the fitness terms (Eq. 8) from measured quantities.
+    fn score_from(
+        &self,
+        depth: u32,
+        cpd: f64,
+        area: f64,
+        error: f64,
+        po_arrivals: Vec<f64>,
+        po_errors: Vec<f64>,
+    ) -> LacScore {
         let fd = f64::from(self.depth_ori) / f64::from(depth.max(1));
         let fa = self.area_ori / area.max(1e-9);
         let fitness = self.depth_weight * fd + (1.0 - self.depth_weight) * fa;
-        Candidate {
+        LacScore {
             depth,
-            cpd: report.critical_path_delay(),
+            cpd,
             area,
             error,
             fd,
             fa,
             fitness,
-            po_arrivals: report.po_arrivals().to_vec(),
+            po_arrivals,
             po_errors,
-            netlist,
         }
     }
 }

@@ -4,7 +4,7 @@
 
 use rand::Rng;
 use tdals_netlist::{GateId, Netlist, NetlistError, SignalRef};
-use tdals_sim::SimResult;
+use tdals_sim::SimWords;
 use tdals_sta::{critical_path_to_po, TimingReport};
 
 /// One local approximate change: substitute every use of the target
@@ -111,12 +111,16 @@ pub fn collect_targets<R: Rng>(
 /// `max_candidates` when large) plus the constants `0` and `1`; the
 /// highest-similarity candidate wins.
 ///
+/// `sim` is any [`SimWords`] view of the netlist — a full
+/// [`SimResult`](tdals_sim::SimResult) or the incremental engine's
+/// state ([`DeltaSim`](tdals_sim::DeltaSim)).
+///
 /// Returns `None` when the target has an empty fan-in cone and neither
 /// constant improves on it (cannot happen in practice: constants are
 /// always candidates).
-pub fn select_switch<R: Rng>(
+pub fn select_switch<R: Rng, V: SimWords>(
     netlist: &Netlist,
-    sim: &SimResult,
+    sim: &V,
     target: GateId,
     max_candidates: usize,
     rng: &mut R,
@@ -156,9 +160,9 @@ pub fn select_switch<R: Rng>(
 /// Draws a random LAC anywhere in the circuit (used for initial
 /// population seeding: "performing LACs on randomly selected target
 /// gates of the accurate circuit").
-pub fn random_lac<R: Rng>(
+pub fn random_lac<R: Rng, V: SimWords>(
     netlist: &Netlist,
-    sim: &SimResult,
+    sim: &V,
     max_candidates: usize,
     rng: &mut R,
 ) -> Option<Lac> {

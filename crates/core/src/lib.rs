@@ -54,10 +54,10 @@ mod schedule;
 mod search;
 
 pub use dcgwo::{optimize, ChaseStrategy, IterationStats, OptimizerConfig, OptimizerResult};
-pub use fitness::{Candidate, EvalContext};
+pub use fitness::{Candidate, DeltaEval, EvalContext, LacScore};
 pub use flow::{run_flow, FlowConfig, FlowResult};
 pub use lac::{collect_targets, random_lac, select_switch, Lac};
 pub use postopt::{post_optimize, PostOptConfig, PostOptReport};
 pub use reproduce::{reproduce, LevelWeights};
 pub use schedule::ErrorSchedule;
-pub use search::{search_step, SearchConfig};
+pub use search::{propose_lac, propose_lac_with, search_step, search_step_delta, SearchConfig};

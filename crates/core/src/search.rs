@@ -4,6 +4,7 @@
 
 use rand::Rng;
 use tdals_netlist::Netlist;
+use tdals_sim::{DeltaSim, SimWords};
 
 use crate::fitness::EvalContext;
 use crate::lac::{collect_targets, select_switch, Lac};
@@ -32,28 +33,75 @@ impl Default for SearchConfig {
     }
 }
 
+/// Picks one circuit-searching LAC for `netlist` **without applying
+/// it**: collect critical-path gates (plus sampled fan-ins) into `T_c`,
+/// pick a target uniformly, and select the highest-similarity switch
+/// from its TFI or a constant.
+///
+/// `sim` is any [`SimWords`] view of `netlist` — a full simulation or
+/// the incremental engine's current state. Returns `None` when the
+/// circuit offers no target (e.g. all outputs constant).
+pub fn propose_lac<R: Rng, V: SimWords>(
+    ctx: &EvalContext,
+    netlist: &Netlist,
+    sim: &V,
+    cfg: &SearchConfig,
+    rng: &mut R,
+) -> Option<Lac> {
+    let report = ctx.analyze(netlist);
+    propose_lac_with(netlist, &report, sim, cfg, rng)
+}
+
+/// [`propose_lac`] when a timing report of `netlist` is already
+/// available (e.g. snapshotted from an incremental engine), so no full
+/// STA pass is needed.
+pub fn propose_lac_with<R: Rng, V: SimWords>(
+    netlist: &Netlist,
+    report: &tdals_sta::TimingReport,
+    sim: &V,
+    cfg: &SearchConfig,
+    rng: &mut R,
+) -> Option<Lac> {
+    let targets = collect_targets(netlist, report, cfg.path_count, rng);
+    if targets.is_empty() {
+        return None;
+    }
+    let target = targets[rng.gen_range(0..targets.len())];
+    select_switch(netlist, sim, target, cfg.max_switch_candidates, rng)
+}
+
 /// Applies one circuit-searching step to `netlist`, returning the LAC
 /// that was applied (or `None` when the circuit offers no target, e.g.
 /// all outputs constant).
 ///
-/// The paper's recipe: collect critical-path gates (plus sampled
-/// fan-ins) into `T_c`, pick a target uniformly, and substitute it with
-/// the highest-similarity signal from its TFI or a constant.
+/// This is the full-resimulation convenience wrapper around
+/// [`propose_lac`]; the optimizer's hot path goes through
+/// [`search_step_delta`] instead.
 pub fn search_step<R: Rng>(
     ctx: &EvalContext,
     netlist: &mut Netlist,
     cfg: &SearchConfig,
     rng: &mut R,
 ) -> Option<Lac> {
-    let report = ctx.analyze(netlist);
-    let targets = collect_targets(netlist, &report, cfg.path_count, rng);
-    if targets.is_empty() {
-        return None;
-    }
-    let target = targets[rng.gen_range(0..targets.len())];
     let sim = ctx.simulate(netlist);
-    let lac = select_switch(netlist, &sim, target, cfg.max_switch_candidates, rng)?;
+    let lac = propose_lac(ctx, netlist, &sim, cfg, rng)?;
     lac.apply(netlist)
+        .expect("TFI-drawn switches respect the id invariant");
+    Some(lac)
+}
+
+/// One circuit-searching step on an incremental simulation state: the
+/// LAC is proposed from the engine's current words (no full
+/// re-simulation) and committed through the engine's O(cone) update.
+pub fn search_step_delta<R: Rng>(
+    ctx: &EvalContext,
+    delta: &mut DeltaSim,
+    cfg: &SearchConfig,
+    rng: &mut R,
+) -> Option<Lac> {
+    let lac = propose_lac(ctx, delta.netlist(), delta, cfg, rng)?;
+    delta
+        .substitute(lac.target(), lac.switch())
         .expect("TFI-drawn switches respect the id invariant");
     Some(lac)
 }

@@ -9,7 +9,7 @@
 //! * [`cell`] — a synthetic 28nm-class standard-cell library with
 //!   discrete drive strengths and a linear delay model (substitute for
 //!   the proprietary TSMC 28nm library used in the paper);
-//! * [`netlist`] — circuits stored as **gate fan-in adjacency lists**
+//! * [`Netlist`] — circuits stored as **gate fan-in adjacency lists**
 //!   (§III-A of the paper) with a topological id invariant that makes
 //!   local approximate changes loop-free by construction;
 //! * [`verilog`] — a structural Verilog reader/writer for the

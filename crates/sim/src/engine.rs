@@ -3,6 +3,7 @@
 use tdals_netlist::{GateId, Netlist, SignalRef};
 
 use crate::patterns::Patterns;
+use crate::view::{masked_signal_word, raw_signal_word, SimWords};
 
 /// Simulated values of every gate output for one stimulus batch.
 ///
@@ -34,12 +35,12 @@ use crate::patterns::Patterns;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    vector_count: usize,
-    word_count: usize,
+    pub(crate) vector_count: usize,
+    pub(crate) word_count: usize,
     /// Gate-major storage: `values[g * word_count + w]`.
-    values: Vec<u64>,
-    po_drivers: Vec<SignalRef>,
-    tail_mask: u64,
+    pub(crate) values: Vec<u64>,
+    pub(crate) po_drivers: Vec<SignalRef>,
+    pub(crate) tail_mask: u64,
 }
 
 impl SimResult {
@@ -81,16 +82,7 @@ impl SimResult {
     /// Words of an arbitrary signal (constants expand to all-0/all-1
     /// within the valid tail).
     pub fn signal_word(&self, signal: SignalRef, w: usize) -> u64 {
-        let raw = match signal {
-            SignalRef::Const0 => 0,
-            SignalRef::Const1 => u64::MAX,
-            SignalRef::Gate(id) => self.gate_word(id, w),
-        };
-        if w + 1 == self.word_count {
-            raw & self.tail_mask
-        } else {
-            raw
-        }
+        masked_signal_word(&self.values, self.word_count, self.tail_mask, signal, w)
     }
 
     /// Word `w` of primary output `po`.
@@ -121,6 +113,32 @@ impl SimResult {
     /// holds the same value with output of each gate").
     pub fn similarity(&self, a: SignalRef, b: SignalRef) -> f64 {
         1.0 - self.diff_count(a, b) as f64 / self.vector_count as f64
+    }
+}
+
+impl SimWords for SimResult {
+    fn vector_count(&self) -> usize {
+        self.vector_count
+    }
+
+    fn word_count(&self) -> usize {
+        self.word_count
+    }
+
+    fn output_count(&self) -> usize {
+        self.po_drivers.len()
+    }
+
+    fn tail_mask(&self) -> u64 {
+        self.tail_mask
+    }
+
+    fn signal_word(&self, signal: SignalRef, w: usize) -> u64 {
+        SimResult::signal_word(self, signal, w)
+    }
+
+    fn po_word(&self, po: usize, w: usize) -> u64 {
+        SimResult::po_word(self, po, w)
     }
 }
 
@@ -159,12 +177,8 @@ pub fn simulate(netlist: &Netlist, patterns: &Patterns) -> SimResult {
         let arity = cell.arity();
         let base = id.index() * word_count;
         for w in 0..word_count {
-            for (pin, fanin) in gate.fanins().iter().enumerate() {
-                fanin_words[pin] = match fanin {
-                    SignalRef::Const0 => 0,
-                    SignalRef::Const1 => u64::MAX,
-                    SignalRef::Gate(src) => values[src.index() * word_count + w],
-                };
+            for (pin, &fanin) in gate.fanins().iter().enumerate() {
+                fanin_words[pin] = raw_signal_word(&values, word_count, fanin, w);
             }
             values[base + w] = cell.eval_word(&fanin_words[..arity]);
         }

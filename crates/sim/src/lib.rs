@@ -5,14 +5,18 @@
 //! efficiency–accuracy configurable batch error estimation" engine the
 //! paper uses to measure circuit error and output similarities.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`Patterns`] — packed random or exhaustive input stimulus;
 //! * [`simulate`] / [`SimResult`] — evaluate every gate 64 vectors at a
 //!   time; similarity queries ([`SimResult::similarity`]) drive the
 //!   paper's switch-gate selection;
+//! * [`DeltaSim`] / [`DeltaView`] — incremental cone re-simulation:
+//!   score or commit a single-gate substitution by re-evaluating only
+//!   its transitive fan-out, bit-identical to a full [`simulate`];
 //! * [`ErrorMetric`], [`error_rate`], [`nmed`], [`ErrorEvaluator`] —
-//!   the ER (Eq. 1) and NMED (Eq. 2) constraint metrics.
+//!   the ER (Eq. 1) and NMED (Eq. 2) constraint metrics, generic over
+//!   the [`SimWords`] view trait so full and incremental results mix.
 //!
 //! # Examples
 //!
@@ -41,14 +45,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod delta;
 mod engine;
 mod metrics;
 mod metrics_ext;
 mod patterns;
+mod view;
 
+pub use delta::{DeltaSim, DeltaStats, DeltaView};
 pub use engine::{simulate, SimResult};
 pub use metrics::{error_rate, nmed, po_flip_rates, ErrorEvaluator, ErrorMetric};
 pub use metrics_ext::{
     bit_flip_rate, mean_relative_error, med, outputs_identical, worst_case_error_distance,
 };
 pub use patterns::Patterns;
+pub use view::SimWords;

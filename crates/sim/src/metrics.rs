@@ -5,6 +5,7 @@ use tdals_netlist::Netlist;
 
 use crate::engine::{simulate, SimResult};
 use crate::patterns::Patterns;
+use crate::view::SimWords;
 
 /// Which error metric constrains the optimization.
 ///
@@ -21,12 +22,14 @@ pub enum ErrorMetric {
 }
 
 impl ErrorMetric {
-    /// Computes this metric between two simulation results.
+    /// Computes this metric between two simulation results (any
+    /// [`SimWords`] implementors — full results, incremental state, or
+    /// uncommitted [`DeltaView`](crate::DeltaView)s mix freely).
     ///
     /// # Panics
     ///
     /// Panics if the results cover different vector or output counts.
-    pub fn compute(self, ori: &SimResult, app: &SimResult) -> f64 {
+    pub fn compute<A: SimWords, B: SimWords>(self, ori: &A, app: &B) -> f64 {
         match self {
             ErrorMetric::ErrorRate => error_rate(ori, app),
             ErrorMetric::Nmed => nmed(ori, app),
@@ -34,7 +37,7 @@ impl ErrorMetric {
     }
 }
 
-fn check_compat(ori: &SimResult, app: &SimResult) {
+fn check_compat<A: SimWords, B: SimWords>(ori: &A, app: &B) {
     assert_eq!(
         ori.vector_count(),
         app.vector_count(),
@@ -76,7 +79,7 @@ fn check_compat(ori: &SimResult, app: &SimResult) {
 /// assert!((er - 0.25).abs() < 1e-12); // wrong only on a=b=1
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn error_rate(ori: &SimResult, app: &SimResult) -> f64 {
+pub fn error_rate<A: SimWords, B: SimWords>(ori: &A, app: &B) -> f64 {
     check_compat(ori, app);
     let words = ori.word_count();
     let mut wrong = 0usize;
@@ -99,7 +102,7 @@ pub fn error_rate(ori: &SimResult, app: &SimResult) -> f64 {
 /// # Panics
 ///
 /// Panics if the results cover different vector or output counts.
-pub fn po_flip_rates(ori: &SimResult, app: &SimResult) -> Vec<f64> {
+pub fn po_flip_rates<A: SimWords, B: SimWords>(ori: &A, app: &B) -> Vec<f64> {
     check_compat(ori, app);
     let n_vec = ori.vector_count() as f64;
     (0..ori.output_count())
@@ -125,7 +128,7 @@ pub fn po_flip_rates(ori: &SimResult, app: &SimResult) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if the results cover different vector or output counts.
-pub fn nmed(ori: &SimResult, app: &SimResult) -> f64 {
+pub fn nmed<A: SimWords, B: SimWords>(ori: &A, app: &B) -> f64 {
     check_compat(ori, app);
     let n_out = ori.output_count();
     let n_vec = ori.vector_count();
@@ -237,14 +240,16 @@ impl ErrorEvaluator {
         self.metric.compute(&self.golden, &self.simulate(approx))
     }
 
-    /// Metric value given an already-computed simulation of the variant.
-    pub fn error_of_sim(&self, app: &SimResult) -> f64 {
+    /// Metric value given an already-computed simulation of the variant
+    /// (a full [`SimResult`], a [`DeltaSim`](crate::DeltaSim) state, or
+    /// an uncommitted [`DeltaView`](crate::DeltaView)).
+    pub fn error_of_sim<V: SimWords>(&self, app: &V) -> f64 {
         self.metric.compute(&self.golden, app)
     }
 
     /// Per-PO error contributions of a variant (flip rates under ER;
     /// weighted flip rates under NMED), given its simulation.
-    pub fn po_errors_of_sim(&self, app: &SimResult) -> Vec<f64> {
+    pub fn po_errors_of_sim<V: SimWords>(&self, app: &V) -> Vec<f64> {
         let flips = po_flip_rates(&self.golden, app);
         match self.metric {
             ErrorMetric::ErrorRate => flips,

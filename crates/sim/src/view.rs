@@ -1,0 +1,120 @@
+//! The read-side abstraction over simulated gate values.
+//!
+//! Both the full-resimulation result ([`SimResult`](crate::SimResult))
+//! and the incremental evaluators ([`DeltaSim`](crate::DeltaSim),
+//! [`DeltaView`](crate::DeltaView)) answer the same queries — word `w`
+//! of a signal, a primary output, a similarity — so the error metrics
+//! and the optimizers' similarity scoring are written once against the
+//! [`SimWords`] trait and cannot diverge between the two paths.
+
+use tdals_netlist::SignalRef;
+
+/// Raw (tail-unmasked) 64-sample word of `signal` over gate-major
+/// storage `values[g * word_count + w]`.
+///
+/// This is **the** shared expansion rule for constants: `Const0` is
+/// all-zeros, `Const1` is all-ones, gates read their stored word. Every
+/// evaluator in the crate — full simulation, incremental re-simulation,
+/// and the query API — goes through this helper (or its masked twin
+/// [`masked_signal_word`]) so the `Const0`/`Const1`/tail handling can
+/// never drift apart.
+#[inline]
+pub(crate) fn raw_signal_word(
+    values: &[u64],
+    word_count: usize,
+    signal: SignalRef,
+    w: usize,
+) -> u64 {
+    match signal {
+        SignalRef::Const0 => 0,
+        SignalRef::Const1 => u64::MAX,
+        SignalRef::Gate(id) => values[id.index() * word_count + w],
+    }
+}
+
+/// [`raw_signal_word`] with the invalid tail bits of the final word
+/// cleared, so popcount-based statistics stay exact.
+#[inline]
+pub(crate) fn masked_signal_word(
+    values: &[u64],
+    word_count: usize,
+    tail_mask: u64,
+    signal: SignalRef,
+    w: usize,
+) -> u64 {
+    let raw = raw_signal_word(values, word_count, signal, w);
+    if w + 1 == word_count {
+        raw & tail_mask
+    } else {
+        raw
+    }
+}
+
+/// Read access to one batch of simulated gate values.
+///
+/// Implemented by [`SimResult`](crate::SimResult) (full re-simulation),
+/// [`DeltaSim`](crate::DeltaSim) (the incremental engine's current
+/// state) and [`DeltaView`](crate::DeltaView) (a scored-but-uncommitted
+/// mutation). Error metrics and similarity scoring accept any
+/// implementor, which is what lets candidate scoring run on the
+/// incremental path without materializing a full `SimResult`.
+pub trait SimWords {
+    /// Number of vectors simulated.
+    fn vector_count(&self) -> usize;
+
+    /// Number of 64-bit words per signal.
+    fn word_count(&self) -> usize;
+
+    /// Number of primary outputs.
+    fn output_count(&self) -> usize;
+
+    /// Mask of valid bits in the final word.
+    fn tail_mask(&self) -> u64;
+
+    /// Word `w` of an arbitrary signal, tail-masked.
+    fn signal_word(&self, signal: SignalRef, w: usize) -> u64;
+
+    /// Word `w` of primary output `po`, tail-masked.
+    fn po_word(&self, po: usize, w: usize) -> u64;
+
+    /// Counts vectors on which the two signals differ.
+    fn diff_count(&self, a: SignalRef, b: SignalRef) -> usize {
+        let mut diff = 0usize;
+        for w in 0..self.word_count() {
+            diff += (self.signal_word(a, w) ^ self.signal_word(b, w)).count_ones() as usize;
+        }
+        diff
+    }
+
+    /// Fraction of vectors on which the two signals agree — the paper's
+    /// *similarity* measure driving switch-gate selection.
+    fn similarity(&self, a: SignalRef, b: SignalRef) -> f64 {
+        1.0 - self.diff_count(a, b) as f64 / self.vector_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdals_netlist::GateId;
+
+    #[test]
+    fn raw_word_expands_constants() {
+        let values = vec![0xAB, 0xCD];
+        assert_eq!(raw_signal_word(&values, 1, SignalRef::Const0, 0), 0);
+        assert_eq!(raw_signal_word(&values, 1, SignalRef::Const1, 0), u64::MAX);
+        assert_eq!(
+            raw_signal_word(&values, 1, SignalRef::Gate(GateId::new(1)), 0),
+            0xCD
+        );
+    }
+
+    #[test]
+    fn masked_word_clips_only_the_tail() {
+        let values = vec![u64::MAX, u64::MAX];
+        let m = masked_signal_word(&values, 2, 0xF, SignalRef::Const1, 1);
+        assert_eq!(m, 0xF);
+        let m = masked_signal_word(&values, 2, 0xF, SignalRef::Const1, 0);
+        assert_eq!(m, u64::MAX);
+    }
+}

@@ -80,6 +80,24 @@ pub struct TimingReport {
 }
 
 impl TimingReport {
+    /// Assembles a report from raw per-gate and per-PO arrays (used by
+    /// the incremental engine to snapshot its state).
+    pub(crate) fn from_parts(
+        arrival: Vec<f64>,
+        depth: Vec<u32>,
+        load: Vec<f64>,
+        po_arrival: Vec<f64>,
+        po_depth: Vec<u32>,
+    ) -> TimingReport {
+        TimingReport {
+            arrival,
+            depth,
+            load,
+            po_arrival,
+            po_depth,
+        }
+    }
+
     /// Output arrival time of a gate in ps.
     ///
     /// # Panics

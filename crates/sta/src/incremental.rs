@@ -38,6 +38,31 @@ use tdals_netlist::{GateId, Netlist, NetlistError, SignalRef};
 
 use crate::analysis::TimingConfig;
 
+/// Timing summary of a previewed (uncommitted) substitution: the
+/// post-mutation PO arrivals and depths, from which the fitness terms
+/// (`CPD`, `Depth`) derive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingDelta {
+    /// How many gates the preview re-timed (diagnostics).
+    pub retimed: usize,
+    /// Arrival time per primary output in ps.
+    pub po_arrivals: Vec<f64>,
+    /// Logic depth per primary output.
+    pub po_depths: Vec<u32>,
+}
+
+impl TimingDelta {
+    /// Critical path delay of the mutated circuit (max PO arrival).
+    pub fn critical_path_delay(&self) -> f64 {
+        self.po_arrivals.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Maximum logic depth over primary outputs.
+    pub fn max_depth(&self) -> u32 {
+        self.po_depths.iter().copied().max().unwrap_or(0)
+    }
+}
+
 /// Incrementally-maintained timing state for one netlist.
 ///
 /// The engine must observe every mutation: apply substitutions through
@@ -209,6 +234,173 @@ impl IncrementalSta {
         self.propagate(netlist, seeds);
     }
 
+    /// Scores the substitution `target := switch` **without committing
+    /// it**: re-propagates arrivals and depths through the affected
+    /// cone into a scratch overlay and returns the mutated circuit's
+    /// timing summary. The engine and netlist are unchanged.
+    ///
+    /// The result matches a from-scratch [`analyze`](crate::analyze) of
+    /// the mutated netlist (same event-driven settle rules as
+    /// [`IncrementalSta::substitute`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is a gate with id ≥ `target` (which would
+    /// break the topological id invariant).
+    pub fn preview_substitute(
+        &self,
+        netlist: &Netlist,
+        target: GateId,
+        switch: SignalRef,
+    ) -> TimingDelta {
+        if let SignalRef::Gate(s) = switch {
+            assert!(
+                s < target,
+                "switch {s} must precede target {target} in id order"
+            );
+        }
+        let readers = &self.fanouts[target.index()];
+        let po_reader_count = netlist
+            .outputs()
+            .filter(|(_, d)| *d == SignalRef::Gate(target))
+            .count();
+        let mut moved_cap = 0.0;
+        for &reader in readers {
+            moved_cap += netlist.gate(reader).cell().input_cap() + self.cfg.wire_cap_per_fanout;
+        }
+        moved_cap += po_reader_count as f64 * (self.cfg.po_load + self.cfg.wire_cap_per_fanout);
+
+        // Flat overlay of (arrival, depth) for re-timed gates; the
+        // target is left untouched (it dangles after the substitution
+        // and defines no PO summary).
+        let n = netlist.gate_count();
+        let mut in_ovl = vec![false; n];
+        let mut ovl_arrival = vec![0.0f64; n];
+        let mut ovl_depth = vec![0u32; n];
+        let mut retimed = 0usize;
+        // Pending-flag scan instead of a priority queue: fan-outs
+        // always have larger ids than their drivers, so one ascending
+        // pass over the id space visits every affected gate after all
+        // of its fan-ins have settled.
+        let mut pending = vec![false; n];
+        let mut lo = n;
+        // The switch gate's own delay changes with its increased load.
+        if let SignalRef::Gate(sw) = switch {
+            pending[sw.index()] = true;
+            lo = lo.min(sw.index());
+        }
+        for &reader in readers {
+            pending[reader.index()] = true;
+            lo = lo.min(reader.index());
+        }
+
+        for i in lo..n {
+            if !pending[i] {
+                continue;
+            }
+            let id = GateId::new(i);
+            let gate = netlist.gate(id);
+            if gate.is_input() {
+                continue;
+            }
+            let mut worst_arrival = 0.0f64;
+            let mut worst_depth = 0u32;
+            for fanin in gate.fanins() {
+                // Pending substitution: readers of `target` see `switch`.
+                let src = if *fanin == SignalRef::Gate(target) {
+                    switch
+                } else {
+                    *fanin
+                };
+                if let SignalRef::Gate(src) = src {
+                    let i = src.index();
+                    let (a, d) = if in_ovl[i] {
+                        (ovl_arrival[i], ovl_depth[i])
+                    } else {
+                        (self.arrival[i], self.depth[i])
+                    };
+                    worst_arrival = worst_arrival.max(a);
+                    worst_depth = worst_depth.max(d);
+                }
+            }
+            let mut load = self.load[id.index()];
+            if SignalRef::Gate(id) == switch {
+                load += moved_cap;
+            }
+            let arrival = worst_arrival + gate.cell().delay(load);
+            let depth = worst_depth + 1;
+            let changed = (arrival - self.arrival[id.index()]).abs() > 1e-12
+                || depth != self.depth[id.index()];
+            if changed {
+                in_ovl[i] = true;
+                ovl_arrival[i] = arrival;
+                ovl_depth[i] = depth;
+                retimed += 1;
+                for &reader in &self.fanouts[i] {
+                    pending[reader.index()] = true;
+                }
+            }
+        }
+
+        let mut po_arrivals = Vec::with_capacity(netlist.output_count());
+        let mut po_depths = Vec::with_capacity(netlist.output_count());
+        for (_, driver) in netlist.outputs() {
+            let driver = if driver == SignalRef::Gate(target) {
+                switch
+            } else {
+                driver
+            };
+            match driver {
+                SignalRef::Gate(src) => {
+                    let i = src.index();
+                    if in_ovl[i] {
+                        po_arrivals.push(ovl_arrival[i]);
+                        po_depths.push(ovl_depth[i]);
+                    } else {
+                        po_arrivals.push(self.arrival[i]);
+                        po_depths.push(self.depth[i]);
+                    }
+                }
+                _ => {
+                    po_arrivals.push(0.0);
+                    po_depths.push(0);
+                }
+            }
+        }
+        TimingDelta {
+            retimed,
+            po_arrivals,
+            po_depths,
+        }
+    }
+
+    /// Snapshot of the engine's state as a
+    /// [`TimingReport`](crate::TimingReport) (O(gates) copies of the
+    /// arrival/depth/load arrays).
+    pub fn to_report(&self, netlist: &Netlist) -> crate::analysis::TimingReport {
+        let mut po_arrival = Vec::with_capacity(netlist.output_count());
+        let mut po_depth = Vec::with_capacity(netlist.output_count());
+        for (_, driver) in netlist.outputs() {
+            match driver {
+                SignalRef::Gate(src) => {
+                    po_arrival.push(self.arrival[src.index()]);
+                    po_depth.push(self.depth[src.index()]);
+                }
+                _ => {
+                    po_arrival.push(0.0);
+                    po_depth.push(0);
+                }
+            }
+        }
+        crate::analysis::TimingReport::from_parts(
+            self.arrival.clone(),
+            self.depth.clone(),
+            self.load.clone(),
+            po_arrival,
+            po_depth,
+        )
+    }
+
     /// Output arrival time of a gate in ps.
     pub fn arrival(&self, id: GateId) -> f64 {
         self.arrival[id.index()]
@@ -321,6 +513,70 @@ mod tests {
                 inc.substitute(&mut n, target, switch).expect("legal LAC");
                 assert_matches_full(&n, &inc, &cfg);
             }
+        }
+    }
+
+    #[test]
+    fn preview_matches_full_analysis_of_mutated_netlist() {
+        let cfg = TimingConfig::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for seed in 0..5 {
+            let n = random_dag(seed);
+            let inc = IncrementalSta::new(&n, cfg);
+            for _ in 0..8 {
+                let logic: Vec<GateId> = n
+                    .iter()
+                    .filter(|(_, g)| !g.is_input())
+                    .map(|(id, _)| id)
+                    .collect();
+                let target = logic[rng.gen_range(0..logic.len())];
+                let tfi = n.tfi_mask(target);
+                let mut candidates: Vec<SignalRef> = tfi
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &m)| m)
+                    .map(|(i, _)| SignalRef::Gate(GateId::new(i)))
+                    .collect();
+                candidates.push(SignalRef::Const1);
+                let switch = candidates[rng.gen_range(0..candidates.len())];
+
+                let delta = inc.preview_substitute(&n, target, switch);
+                let mut mutated = n.clone();
+                mutated.substitute(target, switch).expect("legal LAC");
+                let full = analyze(&mutated, &cfg);
+                assert_eq!(delta.max_depth(), full.max_depth());
+                assert!(
+                    (delta.critical_path_delay() - full.critical_path_delay()).abs() < 1e-9,
+                    "cpd {} vs {}",
+                    delta.critical_path_delay(),
+                    full.critical_path_delay()
+                );
+                for po in 0..mutated.output_count() {
+                    assert!(
+                        (delta.po_arrivals[po] - full.po_arrival(po)).abs() < 1e-9,
+                        "po {po} arrival"
+                    );
+                    assert_eq!(delta.po_depths[po], full.po_depth(po), "po {po} depth");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn to_report_matches_full_analysis() {
+        let cfg = TimingConfig::default();
+        let n = random_dag(2);
+        let inc = IncrementalSta::new(&n, cfg);
+        let snap = inc.to_report(&n);
+        let full = analyze(&n, &cfg);
+        assert_eq!(snap.max_depth(), full.max_depth());
+        assert!((snap.critical_path_delay() - full.critical_path_delay()).abs() < 1e-9);
+        for (id, _) in n.iter() {
+            assert!((snap.arrival(id) - full.arrival(id)).abs() < 1e-9);
+            assert_eq!(snap.depth(id), full.depth(id));
+        }
+        for po in 0..n.output_count() {
+            assert!((snap.po_arrival(po) - full.po_arrival(po)).abs() < 1e-9);
         }
     }
 

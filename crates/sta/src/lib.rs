@@ -44,6 +44,6 @@ mod report;
 mod sizing;
 
 pub use analysis::{analyze, critical_path, critical_path_to_po, TimingConfig, TimingReport};
-pub use incremental::IncrementalSta;
+pub use incremental::{IncrementalSta, TimingDelta};
 pub use report::{timing_report_text, ReportOptions};
 pub use sizing::{size_for_timing, SizingConfig, SizingResult};

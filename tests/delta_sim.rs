@@ -1,0 +1,230 @@
+//! Incremental-simulation equivalence and determinism suite.
+//!
+//! The contract under test: scoring a candidate through the
+//! incremental cone engines (`DeltaSim` preview/commit, incremental STA
+//! preview, dead-cone area cascade) is indistinguishable from mutating
+//! the netlist and re-running everything from scratch — bit-identical
+//! for simulated words and error metrics, settle-tolerance-identical
+//! for timing and area — and that the optimizer built on top stays
+//! deterministic across thread counts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdals::circuits::random_logic::{grow, RandomLogicSpec};
+use tdals::core::{optimize, EvalContext, Lac, OptimizerConfig};
+use tdals::netlist::builder::Builder;
+use tdals::netlist::{GateId, Netlist, SignalRef};
+use tdals::sim::{simulate, DeltaSim, ErrorMetric, Patterns, SimWords};
+use tdals::sta::TimingConfig;
+
+/// Deterministic random netlist from a seed.
+fn random_netlist(seed: u64, inputs: usize, gates: usize, outputs: usize) -> Netlist {
+    let mut b = Builder::new(format!("rand{seed}"));
+    let ins = b.inputs("x", inputs);
+    let mut spec = RandomLogicSpec::new(gates, outputs, seed);
+    spec.window = 12;
+    let outs = grow(&mut b, &ins, &spec);
+    b.outputs("y", &outs);
+    b.finish()
+}
+
+/// A random legal LAC: any logic gate as target, a TFI gate or a
+/// constant as switch.
+fn random_substitution(netlist: &Netlist, rng: &mut StdRng) -> (GateId, SignalRef) {
+    let logic: Vec<GateId> = netlist
+        .iter()
+        .filter(|(_, g)| !g.is_input())
+        .map(|(id, _)| id)
+        .collect();
+    let target = logic[rng.gen_range(0..logic.len())];
+    let tfi = netlist.tfi_mask(target);
+    let mut pool: Vec<SignalRef> = tfi
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(i, _)| SignalRef::Gate(GateId::new(i)))
+        .collect();
+    pool.push(SignalRef::Const0);
+    pool.push(SignalRef::Const1);
+    (target, pool[rng.gen_range(0..pool.len())])
+}
+
+fn assert_words_match<V: SimWords, W: SimWords>(delta: &V, full: &W, context: &str) {
+    assert_eq!(delta.vector_count(), full.vector_count(), "{context}");
+    assert_eq!(delta.output_count(), full.output_count(), "{context}");
+    for po in 0..full.output_count() {
+        for w in 0..full.word_count() {
+            assert_eq!(
+                delta.po_word(po, w),
+                full.po_word(po, w),
+                "{context}: po {po} word {w}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Tentpole invariant: a previewed substitution is bit-identical to
+    /// mutating the netlist and fully re-simulating it, on arbitrary
+    /// random netlists and arbitrary single-gate substitutions —
+    /// including unaligned tail words.
+    #[test]
+    fn preview_is_bit_identical_to_full_resim(
+        seed in 0u64..300,
+        vectors in 65usize..300,
+    ) {
+        let n = random_netlist(seed, 6, 50, 5);
+        let p = Patterns::random(n.input_count(), vectors, seed ^ 0x5eed);
+        let delta = DeltaSim::new(n.clone(), &p);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        for _ in 0..4 {
+            let (target, switch) = random_substitution(&n, &mut rng);
+            let view = delta.preview(target, switch);
+            let mut mutated = n.clone();
+            mutated.substitute(target, switch).expect("legal LAC");
+            let full = simulate(&mutated, &p);
+            assert_words_match(&view, &full, &format!("seed {seed}, {target} := {switch}"));
+        }
+    }
+
+    /// Committed substitution chains (with and without periodic
+    /// re-basing) track full re-simulation exactly.
+    #[test]
+    fn commit_chains_are_bit_identical(
+        seed in 0u64..200,
+        rebase_every in 0usize..4,
+    ) {
+        let mut reference = random_netlist(seed, 5, 40, 4);
+        let p = Patterns::random(reference.input_count(), 200, seed ^ 0xace);
+        let mut delta = DeltaSim::new(reference.clone(), &p)
+            .with_full_resim_every(rebase_every);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(17) ^ 9);
+        for step in 0..6 {
+            let (target, switch) = random_substitution(&reference, &mut rng);
+            let a = delta.substitute(target, switch).expect("legal LAC");
+            let b = reference.substitute(target, switch).expect("legal LAC");
+            prop_assert_eq!(a, b, "rewritten counts at step {}", step);
+            let full = simulate(&reference, &p);
+            assert_words_match(&delta, &full, &format!("seed {seed} step {step}"));
+        }
+        prop_assert_eq!(delta.netlist(), &reference);
+    }
+
+    /// The full scoring path: incremental error, timing, and area agree
+    /// with a from-scratch evaluation of the materialized mutant.
+    #[test]
+    fn score_lac_matches_full_evaluation(seed in 0u64..150) {
+        let n = random_netlist(seed, 6, 60, 5);
+        let p = Patterns::random(n.input_count(), 256, seed ^ 0xf00d);
+        let ctx = EvalContext::new(&n, p, ErrorMetric::ErrorRate, TimingConfig::default(), 0.8);
+        let base = ctx.delta_eval(n.clone());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        for _ in 0..3 {
+            let (target, switch) = random_substitution(&n, &mut rng);
+            let lac = Lac::new(target, switch);
+            let score = ctx.score_lac(&base, lac);
+            let full = ctx.evaluate_lac(&base, lac);
+            let mut mutant = n.clone();
+            mutant.substitute(target, switch).expect("legal LAC");
+            let reference = ctx.evaluate(mutant);
+
+            // Error terms share the bit-parallel word expansion: exact.
+            prop_assert_eq!(score.error, reference.error);
+            prop_assert_eq!(score.po_errors.clone(), reference.po_errors.clone());
+            prop_assert_eq!(full.error, reference.error);
+            // Timing and area follow the incremental settle tolerance.
+            prop_assert_eq!(score.depth, reference.depth);
+            prop_assert!((score.cpd - reference.cpd).abs() < 1e-9,
+                "cpd {} vs {}", score.cpd, reference.cpd);
+            prop_assert!((score.area - reference.area).abs() < 1e-9,
+                "area {} vs {}", score.area, reference.area);
+            for (a, b) in score.po_arrivals.iter().zip(reference.po_arrivals.iter()) {
+                prop_assert!((a - b).abs() < 1e-9, "po arrival {} vs {}", a, b);
+            }
+            prop_assert_eq!(full.netlist, reference.netlist);
+        }
+    }
+}
+
+/// Determinism satellite: DCGWO with incremental scoring produces
+/// identical Pareto fronts (and identical surviving netlists) whether
+/// offspring are scored on 1 thread or 4.
+#[test]
+fn dcgwo_pareto_front_is_thread_count_invariant() {
+    let mut b = Builder::new("add6");
+    let a = b.inputs("a", 6);
+    let x = b.inputs("b", 6);
+    let (s, c) = b.ripple_add(&a, &x, SignalRef::Const0);
+    b.outputs("s", &s);
+    b.output("c", c);
+    let n = b.finish();
+    let ctx = EvalContext::new(
+        &n,
+        Patterns::exhaustive(12),
+        ErrorMetric::ErrorRate,
+        TimingConfig::default(),
+        0.8,
+    );
+    let cfg = |threads: usize| OptimizerConfig {
+        population: 10,
+        iterations: 6,
+        threads,
+        seed: 21,
+        ..OptimizerConfig::default()
+    };
+    let serial = optimize(&ctx, 0.05, &cfg(1));
+    let parallel = optimize(&ctx, 0.05, &cfg(4));
+
+    assert_eq!(serial.best.netlist, parallel.best.netlist);
+    assert_eq!(serial.best.fitness, parallel.best.fitness);
+    assert_eq!(serial.population.len(), parallel.population.len());
+    for (a, b) in serial.population.iter().zip(&parallel.population) {
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.fitness, b.fitness);
+        assert_eq!(a.error, b.error);
+    }
+    let front_a = serial.pareto_front();
+    let front_b = parallel.pareto_front();
+    assert_eq!(front_a, front_b, "identical Pareto fronts");
+    for (x, y) in serial.history.iter().zip(&parallel.history) {
+        assert_eq!(x.best_fitness, y.best_fitness);
+        assert_eq!(x.feasible, y.feasible);
+    }
+}
+
+/// The re-base knob must not change results, only when full
+/// re-simulations happen.
+#[test]
+fn full_resim_knob_is_behavior_preserving() {
+    let mut b = Builder::new("add4");
+    let a = b.inputs("a", 4);
+    let x = b.inputs("b", 4);
+    let (s, c) = b.ripple_add(&a, &x, SignalRef::Const0);
+    b.outputs("s", &s);
+    b.output("c", c);
+    let n = b.finish();
+    let ctx = EvalContext::new(
+        &n,
+        Patterns::exhaustive(8),
+        ErrorMetric::ErrorRate,
+        TimingConfig::default(),
+        0.8,
+    );
+    let cfg = |every: usize| OptimizerConfig {
+        population: 8,
+        iterations: 5,
+        seed: 33,
+        full_resim_every_n: every,
+        ..OptimizerConfig::default()
+    };
+    let never = optimize(&ctx, 0.06, &cfg(0));
+    let often = optimize(&ctx, 0.06, &cfg(1));
+    assert_eq!(never.best.netlist, often.best.netlist);
+    assert_eq!(never.best.fitness, often.best.fitness);
+    for (x, y) in never.history.iter().zip(&often.history) {
+        assert_eq!(x.best_fitness, y.best_fitness);
+    }
+}

@@ -9,7 +9,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tdals_core::{random_lac, reproduce, Candidate, EvalContext, LevelWeights};
+use tdals_core::api::{Budget, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason};
+use tdals_core::{random_lac, reproduce, Candidate, EvalContext, IterationStats, LevelWeights};
 use tdals_netlist::Netlist;
 
 /// Tunables for [`genetic_depth`].
@@ -59,24 +60,64 @@ fn ga_fitness(ctx: &EvalContext, cand: &Candidate, error_bound: f64) -> f64 {
 
 /// Runs the genetic loop and returns the best feasible netlist.
 pub fn genetic_depth(ctx: &EvalContext, error_bound: f64, cfg: &GeneticConfig) -> Netlist {
+    genetic_depth_session(
+        ctx,
+        error_bound,
+        cfg,
+        &Budget::unlimited(),
+        &mut NopObserver,
+    )
+    .best
+    .netlist
+}
+
+/// [`genetic_depth`] with a [`Budget`] honored at every generation
+/// boundary and progress streamed to `obs`. Under
+/// [`Budget::unlimited`] the final netlist is identical to
+/// [`genetic_depth`]'s.
+pub fn genetic_depth_session(
+    ctx: &EvalContext,
+    error_bound: f64,
+    cfg: &GeneticConfig,
+    budget: &Budget,
+    obs: &mut dyn Observer,
+) -> OptimizeOutcome {
+    let mut tracker = budget.start_tracking();
+    let mut stop = StopReason::Completed;
+    let mut history = Vec::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let weights = LevelWeights::paper_defaults(ctx.cpd_ori(), cfg.level_we);
 
     let accurate = ctx.evaluate(ctx.accurate().clone());
+    tracker.record_evaluations(1);
     let mut best = accurate.clone();
     let mut best_fit = ga_fitness(ctx, &best, error_bound);
 
     let mut population: Vec<Candidate> = vec![accurate.clone()];
     while population.len() < cfg.population.max(2) {
+        // Honor the budget during seeding as well; the accurate anchor
+        // is already in, so stopping early is always safe.
+        if tracker.stop_before_iteration(0).is_some() {
+            break;
+        }
         let mut netlist = accurate.netlist.clone();
         let sim = ctx.simulate(&netlist);
         if let Some(lac) = random_lac(&netlist, &sim, cfg.max_switch_candidates, &mut rng) {
             lac.apply(&mut netlist).expect("legal LAC");
         }
         population.push(ctx.evaluate(netlist));
+        tracker.record_evaluations(1);
     }
 
-    for _ in 0..cfg.generations {
+    for generation in 0..cfg.generations {
+        if let Some(reason) = tracker.stop_before_iteration(generation) {
+            stop = reason;
+            break;
+        }
+        obs.on_event(&FlowEvent::IterationStarted {
+            iteration: generation,
+            constraint: error_bound,
+        });
         let fits: Vec<f64> = population
             .iter()
             .map(|c| ga_fitness(ctx, c, error_bound))
@@ -85,6 +126,13 @@ pub fn genetic_depth(ctx: &EvalContext, error_bound: f64, cfg: &GeneticConfig) -
             if fit > best_fit {
                 best_fit = fit;
                 best = cand.clone();
+                obs.on_event(&FlowEvent::BestImproved {
+                    iteration: generation,
+                    fitness: best.fitness,
+                    error: best.error,
+                    depth: best.depth,
+                    area: best.area,
+                });
             }
         }
 
@@ -123,18 +171,57 @@ pub fn genetic_depth(ctx: &EvalContext, error_bound: f64, cfg: &GeneticConfig) -
                 }
             }
             next.push(ctx.evaluate(child));
+            tracker.record_evaluations(1);
         }
         population = next;
+
+        let feasible = population.iter().filter(|c| c.error <= error_bound).count();
+        let best_now = population
+            .iter()
+            .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+            .expect("population is never empty");
+        let stats = IterationStats {
+            iteration: generation,
+            constraint: error_bound,
+            best_fitness: best_now.fitness,
+            best_depth: best_now.depth,
+            best_area: best_now.area,
+            feasible,
+        };
+        history.push(stats);
+        obs.on_event(&FlowEvent::IterationFinished { stats });
     }
 
+    // Final sweep over the last generation: the per-generation scan at
+    // the loop top only covers the *previous* generation's population,
+    // so improvements born in the last one are found (and reported)
+    // here.
+    let final_generation = history.last().map_or(0, |s| s.iteration);
     for cand in &population {
         let fit = ga_fitness(ctx, cand, error_bound);
         if fit > best_fit {
             best_fit = fit;
             best = cand.clone();
+            obs.on_event(&FlowEvent::BestImproved {
+                iteration: final_generation,
+                fitness: best.fitness,
+                error: best.error,
+                depth: best.depth,
+                area: best.area,
+            });
         }
     }
-    best.netlist
+    obs.on_event(&FlowEvent::OptimizeFinished {
+        stop,
+        evaluations: tracker.evaluations(),
+    });
+    OptimizeOutcome {
+        best,
+        population,
+        history,
+        evaluations: tracker.evaluations(),
+        stop,
+    }
 }
 
 #[cfg(test)]

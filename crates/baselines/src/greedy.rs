@@ -9,8 +9,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tdals_core::api::{Budget, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason};
 use tdals_core::{select_switch, EvalContext};
 use tdals_netlist::{GateId, Netlist, SignalRef};
+
+use crate::round_stats;
 
 /// Tunables for [`greedy_area`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,12 +58,45 @@ impl Default for GreedyConfig {
 /// (that blindness is exactly what the paper holds against area-driven
 /// methods). The loop stops when no sampled candidate fits the budget.
 pub fn greedy_area(ctx: &EvalContext, error_bound: f64, cfg: &GreedyConfig) -> Netlist {
+    greedy_area_session(
+        ctx,
+        error_bound,
+        cfg,
+        &Budget::unlimited(),
+        &mut NopObserver,
+    )
+    .best
+    .netlist
+}
+
+/// [`greedy_area`] with a [`Budget`] honored at every round boundary
+/// and progress streamed to `obs` (one [`FlowEvent::LacAccepted`] per
+/// committed substitution). Under [`Budget::unlimited`] the final
+/// netlist is identical to [`greedy_area`]'s.
+pub fn greedy_area_session(
+    ctx: &EvalContext,
+    error_bound: f64,
+    cfg: &GreedyConfig,
+    budget: &Budget,
+    obs: &mut dyn Observer,
+) -> OptimizeOutcome {
+    let mut tracker = budget.start_tracking();
+    let mut stop = StopReason::Completed;
+    let mut history = Vec::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut netlist = ctx.accurate().clone();
     let mut current_error = 0.0f64;
     let mut current_area = netlist.area_live();
 
-    for _ in 0..cfg.max_rounds {
+    for round in 0..cfg.max_rounds {
+        if let Some(reason) = tracker.stop_before_iteration(round) {
+            stop = reason;
+            break;
+        }
+        obs.on_event(&FlowEvent::IterationStarted {
+            iteration: round,
+            constraint: error_bound,
+        });
         let sim = ctx.simulate(&netlist);
         let live = netlist.live_mask();
         let targets: Vec<GateId> = netlist
@@ -73,6 +109,7 @@ pub fn greedy_area(ctx: &EvalContext, error_bound: f64, cfg: &GreedyConfig) -> N
         }
 
         let mut best: Option<(Netlist, f64, f64, f64)> = None; // (netlist, err, area, score)
+        let mut feasible = 0usize;
         for _ in 0..cfg.candidates_per_round {
             let target = targets[rng.gen_range(0..targets.len())];
             let Some(lac) =
@@ -87,9 +124,11 @@ pub fn greedy_area(ctx: &EvalContext, error_bound: f64, cfg: &GreedyConfig) -> N
             let mut trial = netlist.clone();
             lac.apply(&mut trial).expect("legal LAC");
             let err = ctx.evaluator().error_of(&trial);
+            tracker.record_evaluations(1);
             if err > error_bound {
                 continue;
             }
+            feasible += 1;
             let area = trial.area_live();
             let area_gain = current_area - area;
             if area_gain <= 0.0 {
@@ -109,8 +148,29 @@ pub fn greedy_area(ctx: &EvalContext, error_bound: f64, cfg: &GreedyConfig) -> N
         netlist = next;
         current_error = err;
         current_area = area;
+        obs.on_event(&FlowEvent::LacAccepted {
+            iteration: round,
+            error: current_error,
+            area: current_area,
+        });
+        let stats = round_stats(ctx, &netlist, round, error_bound, feasible);
+        history.push(stats);
+        obs.on_event(&FlowEvent::IterationFinished { stats });
     }
-    netlist
+
+    let best = ctx.evaluate(netlist);
+    tracker.record_evaluations(1);
+    obs.on_event(&FlowEvent::OptimizeFinished {
+        stop,
+        evaluations: tracker.evaluations(),
+    });
+    OptimizeOutcome {
+        population: vec![best.clone()],
+        best,
+        history,
+        evaluations: tracker.evaluations(),
+        stop,
+    }
 }
 
 #[cfg(test)]

@@ -23,9 +23,12 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tdals_core::api::{Budget, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason};
 use tdals_core::{collect_targets, select_switch, EvalContext};
 use tdals_netlist::{GateId, Netlist, SignalRef};
 use tdals_sim::{ErrorEvaluator, Patterns};
+
+use crate::stats_from_depth;
 
 /// Tunables for [`depth_driven`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +61,31 @@ impl Default for HedalsConfig {
 /// the winner after exact validation; the loop stops when no
 /// critical-path LAC fits the error budget or none improves timing.
 pub fn depth_driven(ctx: &EvalContext, error_bound: f64, cfg: &HedalsConfig) -> Netlist {
+    depth_driven_session(
+        ctx,
+        error_bound,
+        cfg,
+        &Budget::unlimited(),
+        &mut NopObserver,
+    )
+    .best
+    .netlist
+}
+
+/// [`depth_driven`] with a [`Budget`] honored at every round boundary
+/// and progress streamed to `obs` (one [`FlowEvent::LacAccepted`] per
+/// validated commit). Under [`Budget::unlimited`] the final netlist is
+/// identical to [`depth_driven`]'s.
+pub fn depth_driven_session(
+    ctx: &EvalContext,
+    error_bound: f64,
+    cfg: &HedalsConfig,
+    budget: &Budget,
+    obs: &mut dyn Observer,
+) -> OptimizeOutcome {
+    let mut tracker = budget.start_tracking();
+    let mut stop = StopReason::Completed;
+    let mut history = Vec::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut netlist = ctx.accurate().clone();
     let mut blacklist: HashSet<(GateId, SignalRef)> = HashSet::new();
@@ -75,7 +103,15 @@ pub fn depth_driven(ctx: &EvalContext, error_bound: f64, cfg: &HedalsConfig) -> 
         ctx.metric(),
     );
 
-    for _ in 0..cfg.max_rounds {
+    for round in 0..cfg.max_rounds {
+        if let Some(reason) = tracker.stop_before_iteration(round) {
+            stop = reason;
+            break;
+        }
+        obs.on_event(&FlowEvent::IterationStarted {
+            iteration: round,
+            constraint: error_bound,
+        });
         let report = ctx.analyze(&netlist);
         let depth_now = report.max_depth();
         let cpd_now = report.critical_path_delay();
@@ -90,6 +126,9 @@ pub fn depth_driven(ctx: &EvalContext, error_bound: f64, cfg: &HedalsConfig) -> 
             target: GateId,
             switch: SignalRef,
             score: f64,
+            /// Depth of the trial netlist, kept from the scoring STA so
+            /// the committed round's stats need no re-analysis.
+            depth: u32,
         }
         let mut scored: Vec<Scored> = Vec::new();
         for target in targets {
@@ -105,6 +144,7 @@ pub fn depth_driven(ctx: &EvalContext, error_bound: f64, cfg: &HedalsConfig) -> 
             lac.apply(&mut trial).expect("legal LAC");
             // Probe-resolution error estimate for ranking.
             let est_err = probe.error_of(&trial);
+            tracker.record_evaluations(1);
             if est_err > error_bound {
                 continue;
             }
@@ -119,30 +159,61 @@ pub fn depth_driven(ctx: &EvalContext, error_bound: f64, cfg: &HedalsConfig) -> 
                 target: lac.target(),
                 switch: lac.switch(),
                 score,
+                depth: trial_report.max_depth(),
             });
         }
         scored.sort_by(|a, b| b.score.total_cmp(&a.score));
 
         // Commit the best candidate that survives exact validation.
-        let mut committed = false;
+        let probe_feasible = scored.len();
+        let mut rejected = 0usize;
+        let mut committed: Option<u32> = None;
         for cand in scored {
             let mut trial = netlist.clone();
             trial
                 .substitute(cand.target, cand.switch)
                 .expect("legal LAC");
             let exact = ctx.evaluator().error_of(&trial);
+            tracker.record_evaluations(1);
             if exact <= error_bound {
                 netlist = trial;
-                committed = true;
+                committed = Some(cand.depth);
+                obs.on_event(&FlowEvent::LacAccepted {
+                    iteration: round,
+                    error: exact,
+                    area: netlist.area_live(),
+                });
                 break;
             }
             blacklist.insert((cand.target, cand.switch));
+            rejected += 1;
         }
-        if !committed {
+        let Some(depth) = committed else {
             break;
-        }
+        };
+        // Probe-feasible candidates net of the exact-validation
+        // rejections observed this round (the commit itself is exact-
+        // feasible) — the closest exact count available without
+        // validating every candidate.
+        let feasible = probe_feasible - rejected;
+        let stats = stats_from_depth(ctx, &netlist, round, error_bound, feasible, depth);
+        history.push(stats);
+        obs.on_event(&FlowEvent::IterationFinished { stats });
     }
-    netlist
+
+    let best = ctx.evaluate(netlist);
+    tracker.record_evaluations(1);
+    obs.on_event(&FlowEvent::OptimizeFinished {
+        stop,
+        evaluations: tracker.evaluations(),
+    });
+    OptimizeOutcome {
+        population: vec![best.clone()],
+        best,
+        history,
+        evaluations: tracker.evaluations(),
+        stop,
+    }
 }
 
 #[cfg(test)]

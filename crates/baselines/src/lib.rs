@@ -5,16 +5,56 @@
 //! flow so that TABLEs II/III and Figs. 7/8 can be regenerated
 //! method-for-method:
 //!
-//! * [`greedy_area`] — VECBEE-SASIMI-style greedy area-driven selection;
-//! * [`genetic_depth`] — VaACS-style genetic optimization;
-//! * [`depth_driven`] — HEDALS-style critical-path depth reduction;
+//! * [`greedy_area`] / [`Greedy`] — VECBEE-SASIMI-style greedy
+//!   area-driven selection;
+//! * [`genetic_depth`] / [`Genetic`] — VaACS-style genetic
+//!   optimization;
+//! * [`depth_driven`] / [`Hedals`] — HEDALS-style critical-path depth
+//!   reduction;
 //! * the single-chase GWO baseline lives in
-//!   [`tdals_core::ChaseStrategy::SingleChase`].
+//!   [`tdals_core::ChaseStrategy::SingleChase`]
+//!   (see [`tdals_core::api::Dcgwo::single_chase`]).
 //!
-//! [`Method`] enumerates all five flows (baselines + ours) behind one
-//! entry point, [`run_method`], which also applies the shared
-//! post-optimization so every method converts its area savings into
-//! timing, exactly as the paper's evaluation protocol requires.
+//! Every method implements the [`tdals_core::api::Optimizer`] trait,
+//! so all five flows plug into the same [`tdals_core::api::Flow`]
+//! session, honor the same budget/cancellation, and stream the same
+//! progress events. [`Method`] enumerates them and
+//! [`Method::optimizer`] builds the matching trait object:
+//!
+//! ```
+//! use tdals_baselines::{Method, MethodConfig};
+//! use tdals_core::api::Flow;
+//! use tdals_core::EvalContext;
+//! use tdals_netlist::builder::Builder;
+//! use tdals_netlist::SignalRef;
+//! use tdals_sim::{ErrorMetric, Patterns};
+//! use tdals_sta::TimingConfig;
+//!
+//! let mut b = Builder::new("add4");
+//! let a = b.inputs("a", 4);
+//! let x = b.inputs("b", 4);
+//! let (s, c) = b.ripple_add(&a, &x, SignalRef::Const0);
+//! b.outputs("s", &s);
+//! b.output("c", c);
+//! let accurate = b.finish();
+//! let ctx = EvalContext::new(
+//!     &accurate,
+//!     Patterns::random(accurate.input_count(), 256, 1),
+//!     ErrorMetric::ErrorRate,
+//!     TimingConfig::default(),
+//!     0.8,
+//! );
+//! let cfg = MethodConfig::default().with_population(6).with_iterations(3);
+//! let outcome = Flow::for_context(&ctx)
+//!     .error_bound(0.05)
+//!     .optimizer(Method::Hedals.optimizer(&cfg))
+//!     .run()
+//!     .expect("valid session");
+//! assert!(outcome.error <= 0.05);
+//! ```
+//!
+//! The pre-trait entry point, [`run_method`], survives as a thin
+//! deprecated shim over the session API with identical results.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,16 +62,17 @@
 mod genetic;
 mod greedy;
 mod hedals;
+mod optimizers;
 
 use std::time::Instant;
 
-pub use genetic::{genetic_depth, GeneticConfig};
-pub use greedy::{greedy_area, GreedyConfig};
-pub use hedals::{depth_driven, HedalsConfig};
+pub use genetic::{genetic_depth, genetic_depth_session, GeneticConfig};
+pub use greedy::{greedy_area, greedy_area_session, GreedyConfig};
+pub use hedals::{depth_driven, depth_driven_session, HedalsConfig};
+pub use optimizers::{Genetic, Greedy, Hedals};
 
-use tdals_core::{
-    optimize, post_optimize, ChaseStrategy, EvalContext, OptimizerConfig, PostOptConfig,
-};
+use tdals_core::api::{Dcgwo, Flow, Optimizer};
+use tdals_core::{ChaseStrategy, EvalContext, IterationStats, OptimizerConfig};
 use tdals_netlist::Netlist;
 
 /// The five flows compared in TABLEs II and III.
@@ -69,6 +110,45 @@ impl Method {
             Method::Dcgwo => "Ours",
         }
     }
+
+    /// Builds this method's [`Optimizer`] from the shared knobs,
+    /// scaling per-method details exactly as the paper's evaluation
+    /// protocol does (greedy/HEDALS get `iterations × 10` rounds, the
+    /// population methods get `population`/`iterations` directly).
+    pub fn optimizer(self, cfg: &MethodConfig) -> Box<dyn Optimizer> {
+        match self {
+            Method::VecbeeSasimi => Box::new(Greedy::new(GreedyConfig {
+                candidates_per_round: cfg.population.max(8),
+                max_rounds: cfg.iterations * 10,
+                seed: cfg.seed,
+                ..GreedyConfig::default()
+            })),
+            Method::Vaacs => Box::new(Genetic::new(GeneticConfig {
+                population: cfg.population,
+                generations: cfg.iterations,
+                level_we: cfg.level_we,
+                seed: cfg.seed,
+                ..GeneticConfig::default()
+            })),
+            Method::Hedals => Box::new(Hedals::new(HedalsConfig {
+                max_rounds: cfg.iterations * 10,
+                seed: cfg.seed,
+                ..HedalsConfig::default()
+            })),
+            Method::SingleChaseGwo | Method::Dcgwo => Box::new(Dcgwo::new(
+                OptimizerConfig::default()
+                    .with_population(cfg.population)
+                    .with_iterations(cfg.iterations)
+                    .with_level_we(cfg.level_we)
+                    .with_seed(cfg.seed)
+                    .with_chase(if self == Method::Dcgwo {
+                        ChaseStrategy::DoubleChase
+                    } else {
+                        ChaseStrategy::SingleChase
+                    }),
+            )),
+        }
+    }
 }
 
 impl std::fmt::Display for Method {
@@ -77,9 +157,10 @@ impl std::fmt::Display for Method {
     }
 }
 
-/// Shared knobs for [`run_method`]; per-method details keep their own
-/// defaults scaled to `population`/`iterations`.
+/// Shared knobs for [`Method::optimizer`]; per-method details keep
+/// their own defaults scaled to `population`/`iterations`.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct MethodConfig {
     /// Population size for the population-based methods.
     pub population: usize,
@@ -99,6 +180,32 @@ impl Default for MethodConfig {
             level_we: 0.1,
             seed: 1,
         }
+    }
+}
+
+impl MethodConfig {
+    /// Sets the population size.
+    pub fn with_population(mut self, population: usize) -> MethodConfig {
+        self.population = population;
+        self
+    }
+
+    /// Sets the iteration / generation / round budget.
+    pub fn with_iterations(mut self, iterations: usize) -> MethodConfig {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the `we` of the reproduction level function.
+    pub fn with_level_we(mut self, level_we: f64) -> MethodConfig {
+        self.level_we = level_we;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> MethodConfig {
+        self.seed = seed;
+        self
     }
 }
 
@@ -122,6 +229,15 @@ pub struct MethodResult {
 /// Runs one method end-to-end: optimization, then the shared
 /// post-optimization under `area_con` (defaults to the accurate
 /// circuit's area when `None`), per the paper's evaluation protocol.
+///
+/// Deprecated shim over the session API; it delegates to
+/// [`tdals_core::api::Flow`] through [`Method::optimizer`] with an
+/// unlimited budget, so results are identical to the builder path for
+/// the same configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the session API: Flow::for_context(&ctx).error_bound(b).optimizer(method.optimizer(&cfg)).run()"
+)]
 pub fn run_method(
     ctx: &EvalContext,
     method: Method,
@@ -130,62 +246,59 @@ pub fn run_method(
     cfg: &MethodConfig,
 ) -> MethodResult {
     let start = Instant::now();
-    let mut netlist = match method {
-        Method::VecbeeSasimi => {
-            let greedy_cfg = GreedyConfig {
-                candidates_per_round: cfg.population.max(8),
-                max_rounds: cfg.iterations * 10,
-                seed: cfg.seed,
-                ..GreedyConfig::default()
-            };
-            greedy_area(ctx, error_bound, &greedy_cfg)
-        }
-        Method::Vaacs => {
-            let ga_cfg = GeneticConfig {
-                population: cfg.population,
-                generations: cfg.iterations,
-                level_we: cfg.level_we,
-                seed: cfg.seed,
-                ..GeneticConfig::default()
-            };
-            genetic_depth(ctx, error_bound, &ga_cfg)
-        }
-        Method::Hedals => {
-            let h_cfg = HedalsConfig {
-                max_rounds: cfg.iterations * 10,
-                seed: cfg.seed,
-                ..HedalsConfig::default()
-            };
-            depth_driven(ctx, error_bound, &h_cfg)
-        }
-        Method::SingleChaseGwo | Method::Dcgwo => {
-            let opt_cfg = OptimizerConfig {
-                population: cfg.population,
-                iterations: cfg.iterations,
-                level_we: cfg.level_we,
-                seed: cfg.seed,
-                chase: if method == Method::Dcgwo {
-                    ChaseStrategy::DoubleChase
-                } else {
-                    ChaseStrategy::SingleChase
-                },
-                ..OptimizerConfig::default()
-            };
-            optimize(ctx, error_bound, &opt_cfg).best.netlist
-        }
-    };
-
-    let area_con = area_con.unwrap_or_else(|| ctx.area_ori());
-    let post = post_optimize(&mut netlist, ctx.timing(), &PostOptConfig::new(area_con));
-    let error = ctx.evaluator().error_of(&netlist);
+    let outcome = Flow::for_context(ctx)
+        .error_bound(error_bound)
+        .area_constraint(area_con)
+        .optimizer(method.optimizer(cfg))
+        .run()
+        .unwrap_or_else(|e| panic!("invalid method configuration: {e}"));
     MethodResult {
-        ratio_cpd: post.cpd_final / ctx.cpd_ori().max(1e-9),
-        cpd_fac: post.cpd_final,
-        error,
-        area: netlist.area_live(),
+        ratio_cpd: outcome.ratio_cpd,
+        cpd_fac: outcome.cpd_fac,
+        error: outcome.error,
+        area: outcome.area,
         runtime_s: start.elapsed().as_secs_f64(),
-        netlist,
+        netlist: outcome.netlist,
     }
+}
+
+/// Per-round statistics for the accept-one-LAC-per-round methods when
+/// the round's depth is already known (HEDALS keeps it from the
+/// scoring STA): the working netlist is the round's best, scored with
+/// the shared Eq. 8 fitness terms. No timing analysis is run.
+pub(crate) fn stats_from_depth(
+    ctx: &EvalContext,
+    netlist: &Netlist,
+    iteration: usize,
+    constraint: f64,
+    feasible: usize,
+    depth: u32,
+) -> IterationStats {
+    let area = netlist.area_live();
+    IterationStats {
+        iteration,
+        constraint,
+        best_fitness: ctx.fitness_from(depth, area),
+        best_depth: depth,
+        best_area: area,
+        feasible,
+    }
+}
+
+/// [`stats_from_depth`] for loops that carry no timing state (the
+/// area-driven greedy method): one STA pass per committed round. That
+/// is noise next to the round's candidate evaluations — each candidate
+/// pays a full Monte-Carlo simulation, O(gates × words), while STA is
+/// O(gates) — but it is the only timing the greedy loop performs.
+pub(crate) fn round_stats(
+    ctx: &EvalContext,
+    netlist: &Netlist,
+    iteration: usize,
+    constraint: f64,
+    feasible: usize,
+) -> IterationStats {
+    let depth = ctx.analyze(netlist).max_depth();
+    stats_from_depth(ctx, netlist, iteration, constraint, feasible, depth)
 }
 
 #[cfg(test)]
@@ -213,18 +326,28 @@ mod tests {
         )
     }
 
+    fn run_shim(
+        ctx: &EvalContext,
+        method: Method,
+        bound: f64,
+        area_con: Option<f64>,
+        cfg: &MethodConfig,
+    ) -> MethodResult {
+        #[allow(deprecated)]
+        run_method(ctx, method, bound, area_con, cfg)
+    }
+
     #[test]
     fn all_methods_run_and_respect_constraints() {
         let ctx = ctx();
-        let cfg = MethodConfig {
-            population: 8,
-            iterations: 5,
-            level_we: 0.2,
-            seed: 3,
-        };
+        let cfg = MethodConfig::default()
+            .with_population(8)
+            .with_iterations(5)
+            .with_level_we(0.2)
+            .with_seed(3);
         let bound = 0.03;
         for method in ALL_METHODS {
-            let result = run_method(&ctx, method, bound, None, &cfg);
+            let result = run_shim(&ctx, method, bound, None, &cfg);
             assert!(
                 result.error <= bound + 1e-12,
                 "{method} violates the error bound: {}",
@@ -236,6 +359,42 @@ mod tests {
             );
             assert!(result.ratio_cpd <= 1.0 + 1e-9, "{method} made timing worse");
             result.netlist.check_invariants().expect("valid netlist");
+        }
+    }
+
+    #[test]
+    fn shim_matches_session_api_exactly() {
+        // The deprecated run_method and the builder path must agree on
+        // the final netlist for every method on a pinned seed.
+        let ctx = ctx();
+        let cfg = MethodConfig::default()
+            .with_population(8)
+            .with_iterations(4)
+            .with_level_we(0.2)
+            .with_seed(11);
+        for method in ALL_METHODS {
+            let legacy = run_shim(&ctx, method, 0.03, None, &cfg);
+            let session = Flow::for_context(&ctx)
+                .error_bound(0.03)
+                .optimizer(method.optimizer(&cfg))
+                .run()
+                .expect("valid session");
+            assert_eq!(legacy.netlist, session.netlist, "{method}");
+            assert_eq!(legacy.error, session.error, "{method}");
+            assert_eq!(legacy.cpd_fac, session.cpd_fac, "{method}");
+        }
+    }
+
+    #[test]
+    fn optimizer_names_match_labels() {
+        let cfg = MethodConfig::default();
+        for method in ALL_METHODS {
+            let opt = method.optimizer(&cfg);
+            if method == Method::Dcgwo {
+                assert_eq!(opt.name(), "DCGWO");
+            } else {
+                assert_eq!(opt.name(), method.label());
+            }
         }
     }
 

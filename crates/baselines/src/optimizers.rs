@@ -1,0 +1,130 @@
+//! The baseline methods behind the [`Optimizer`] trait, so every flow
+//! in the paper's comparison — DCGWO included — plugs into the same
+//! [`tdals_core::api::Flow`] session, honors the same
+//! [`tdals_core::api::Budget`], and streams the same
+//! [`tdals_core::api::FlowEvent`]s.
+
+use tdals_core::api::{Budget, Observer, OptimizeOutcome, Optimizer};
+use tdals_core::EvalContext;
+
+use crate::genetic::{genetic_depth_session, GeneticConfig};
+use crate::greedy::{greedy_area_session, GreedyConfig};
+use crate::hedals::{depth_driven_session, HedalsConfig};
+
+/// VECBEE-SASIMI-style greedy area-driven ALS behind the
+/// [`Optimizer`] trait (column `VECBEE-S`).
+#[derive(Debug, Clone, Default)]
+pub struct Greedy {
+    cfg: GreedyConfig,
+}
+
+impl Greedy {
+    /// Wraps an explicit configuration.
+    pub fn new(cfg: GreedyConfig) -> Greedy {
+        Greedy { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &GreedyConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the wrapped configuration.
+    pub fn config_mut(&mut self) -> &mut GreedyConfig {
+        &mut self.cfg
+    }
+}
+
+impl Optimizer for Greedy {
+    fn name(&self) -> &str {
+        "VECBEE-S"
+    }
+
+    fn optimize(
+        &mut self,
+        ctx: &EvalContext,
+        error_bound: f64,
+        budget: &Budget,
+        obs: &mut dyn Observer,
+    ) -> OptimizeOutcome {
+        greedy_area_session(ctx, error_bound, &self.cfg, budget, obs)
+    }
+}
+
+/// VaACS-style genetic ALS behind the [`Optimizer`] trait.
+#[derive(Debug, Clone, Default)]
+pub struct Genetic {
+    cfg: GeneticConfig,
+}
+
+impl Genetic {
+    /// Wraps an explicit configuration.
+    pub fn new(cfg: GeneticConfig) -> Genetic {
+        Genetic { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &GeneticConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the wrapped configuration.
+    pub fn config_mut(&mut self) -> &mut GeneticConfig {
+        &mut self.cfg
+    }
+}
+
+impl Optimizer for Genetic {
+    fn name(&self) -> &str {
+        "VaACS"
+    }
+
+    fn optimize(
+        &mut self,
+        ctx: &EvalContext,
+        error_bound: f64,
+        budget: &Budget,
+        obs: &mut dyn Observer,
+    ) -> OptimizeOutcome {
+        genetic_depth_session(ctx, error_bound, &self.cfg, budget, obs)
+    }
+}
+
+/// HEDALS-style depth-driven ALS behind the [`Optimizer`] trait.
+#[derive(Debug, Clone, Default)]
+pub struct Hedals {
+    cfg: HedalsConfig,
+}
+
+impl Hedals {
+    /// Wraps an explicit configuration.
+    pub fn new(cfg: HedalsConfig) -> Hedals {
+        Hedals { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &HedalsConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the wrapped configuration.
+    pub fn config_mut(&mut self) -> &mut HedalsConfig {
+        &mut self.cfg
+    }
+}
+
+impl Optimizer for Hedals {
+    fn name(&self) -> &str {
+        "HEDALS"
+    }
+
+    fn optimize(
+        &mut self,
+        ctx: &EvalContext,
+        error_bound: f64,
+        budget: &Budget,
+        obs: &mut dyn Observer,
+    ) -> OptimizeOutcome {
+        depth_driven_session(ctx, error_bound, &self.cfg, budget, obs)
+    }
+}

@@ -7,13 +7,11 @@ use tdals_circuits::Benchmark;
 use tdals_core::{optimize, post_optimize, ChaseStrategy, OptimizerConfig, PostOptConfig};
 
 fn small_cfg(chase: ChaseStrategy) -> OptimizerConfig {
-    OptimizerConfig {
-        population: 8,
-        iterations: 4,
-        chase,
-        seed: 11,
-        ..OptimizerConfig::default()
-    }
+    OptimizerConfig::default()
+        .with_population(8)
+        .with_iterations(4)
+        .with_chase(chase)
+        .with_seed(11)
 }
 
 fn bench_optimize(c: &mut Criterion) {

@@ -69,16 +69,14 @@ fn main() {
         };
         print!("{:<12}", bench.name());
         for v in &variants {
-            let cfg = OptimizerConfig {
-                population: effort.population(),
-                iterations: effort.iterations(),
-                level_we: level_we(metric),
-                chase: v.chase,
-                omega_threshold: v.omega_threshold,
-                initial_constraint_fraction: v.initial_fraction,
-                seed: 0xAB1A,
-                ..OptimizerConfig::default()
-            };
+            let cfg = OptimizerConfig::default()
+                .with_population(effort.population())
+                .with_iterations(effort.iterations())
+                .with_level_we(level_we(metric))
+                .with_chase(v.chase)
+                .with_omega_threshold(v.omega_threshold)
+                .with_initial_constraint_fraction(v.initial_fraction)
+                .with_seed(0xAB1A);
             let result = optimize(&ctx, bound, &cfg);
             let mut netlist = result.best.netlist.clone();
             let post = post_optimize(

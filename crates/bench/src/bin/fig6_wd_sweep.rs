@@ -6,9 +6,10 @@
 //! TDALS_EFFORT=quick cargo run --release -p tdals-bench --bin fig6_wd_sweep
 //! ```
 
-use tdals_baselines::{run_method, Method, MethodConfig};
+use tdals_baselines::{Method, MethodConfig};
 use tdals_bench::{context_for_wd, level_we, Effort};
 use tdals_circuits::Benchmark;
+use tdals_core::api::Flow;
 
 fn sweep(benches: &[Benchmark], bounds: &[f64], effort: Effort, label: &str) {
     println!("\nFig. 6{label}: average Ratio_cpd vs depth weight wd");
@@ -24,13 +25,16 @@ fn sweep(benches: &[Benchmark], bounds: &[f64], effort: Effort, label: &str) {
             let mut sum = 0.0;
             for bench in benches {
                 let (ctx, metric) = context_for_wd(*bench, effort, wd);
-                let cfg = MethodConfig {
-                    population: effort.population(),
-                    iterations: effort.iterations(),
-                    level_we: level_we(metric),
-                    seed: 0xF16,
-                };
-                let r = run_method(&ctx, Method::Dcgwo, bound, None, &cfg);
+                let cfg = MethodConfig::default()
+                    .with_population(effort.population())
+                    .with_iterations(effort.iterations())
+                    .with_level_we(level_we(metric))
+                    .with_seed(0xF16);
+                let r = Flow::for_context(&ctx)
+                    .error_bound(bound)
+                    .optimizer(Method::Dcgwo.optimizer(&cfg))
+                    .run()
+                    .expect("valid flow");
                 sum += r.ratio_cpd;
             }
             print!(" {:>12.4}", sum / benches.len() as f64);

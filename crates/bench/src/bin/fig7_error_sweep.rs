@@ -6,9 +6,10 @@
 //! TDALS_EFFORT=standard cargo run --release -p tdals-bench --bin fig7_error_sweep
 //! ```
 
-use tdals_baselines::{run_method, Method, MethodConfig};
+use tdals_baselines::{Method, MethodConfig};
 use tdals_bench::{context_for, level_we, Effort, ER_BOUNDS, NMED_BOUNDS};
 use tdals_circuits::Benchmark;
+use tdals_core::api::Flow;
 
 const METHODS: [Method; 3] = [Method::Hedals, Method::SingleChaseGwo, Method::Dcgwo];
 
@@ -25,13 +26,16 @@ fn sweep(benches: &[Benchmark], bounds: &[f64], effort: Effort, label: &str) {
             let mut sum = 0.0;
             for bench in benches {
                 let (ctx, metric) = context_for(*bench, effort);
-                let cfg = MethodConfig {
-                    population: effort.population(),
-                    iterations: effort.iterations(),
-                    level_we: level_we(metric),
-                    seed: 0xF17,
-                };
-                let r = run_method(&ctx, method, bound, None, &cfg);
+                let cfg = MethodConfig::default()
+                    .with_population(effort.population())
+                    .with_iterations(effort.iterations())
+                    .with_level_we(level_we(metric))
+                    .with_seed(0xF17);
+                let r = Flow::for_context(&ctx)
+                    .error_bound(bound)
+                    .optimizer(method.optimizer(&cfg))
+                    .run()
+                    .expect("valid flow");
                 sum += r.ratio_cpd;
             }
             print!(" {:>10.4}", sum / benches.len() as f64);

@@ -6,9 +6,10 @@
 //! TDALS_EFFORT=standard cargo run --release -p tdals-bench --bin table3
 //! ```
 
-use tdals_baselines::{run_method, MethodConfig, ALL_METHODS};
+use tdals_baselines::{MethodConfig, ALL_METHODS};
 use tdals_bench::{context_for, level_we, Effort};
 use tdals_circuits::Benchmark;
+use tdals_core::api::Flow;
 
 fn main() {
     let effort = Effort::from_env();
@@ -25,15 +26,18 @@ fn main() {
     let mut time_sums = vec![0.0f64; ALL_METHODS.len()];
     for bench in &benches {
         let (ctx, metric) = context_for(*bench, effort);
-        let cfg = MethodConfig {
-            population: effort.population(),
-            iterations: effort.iterations(),
-            level_we: level_we(metric),
-            seed: 0x7AB3,
-        };
+        let cfg = MethodConfig::default()
+            .with_population(effort.population())
+            .with_iterations(effort.iterations())
+            .with_level_we(level_we(metric))
+            .with_seed(0x7AB3);
         print!("{:<10} {:>10.2}", bench.name(), ctx.area_ori());
         for (i, method) in ALL_METHODS.into_iter().enumerate() {
-            let r = run_method(&ctx, method, bound, None, &cfg);
+            let r = Flow::for_context(&ctx)
+                .error_bound(bound)
+                .optimizer(method.optimizer(&cfg))
+                .run()
+                .expect("valid flow");
             sums[i] += r.ratio_cpd;
             time_sums[i] += r.runtime_s;
             print!(" {:>10.4} {:>9.2}", r.ratio_cpd, r.runtime_s);

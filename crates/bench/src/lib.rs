@@ -123,10 +123,7 @@ pub fn context_for_wd(bench: Benchmark, effort: Effort, wd: f64) -> (EvalContext
 
 /// `we` of the reproduction `Level` function per the paper's setting.
 pub fn level_we(metric: ErrorMetric) -> f64 {
-    match metric {
-        ErrorMetric::ErrorRate => 0.1,
-        ErrorMetric::Nmed => 0.2,
-    }
+    tdals_core::OptimizerConfig::paper_level_we(metric)
 }
 
 /// ER sweep bounds of Fig. 7a (1%–5%).

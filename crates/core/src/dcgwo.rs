@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tdals_sim::DeltaSim;
 
+use crate::api::{Budget, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason};
 use crate::fitness::{Candidate, DeltaEval, EvalContext, LacScore};
 use crate::lac::Lac;
 use crate::pareto::{select, Objectives};
@@ -39,6 +40,7 @@ pub enum ChaseStrategy {
 /// `wd = 0.8`, `wt = 0.9 × CPD_ori` (via [`LevelWeights`]), `we` of
 /// 0.1 (ER) / 0.2 (NMED) supplied per run.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct OptimizerConfig {
     /// Population size `N`.
     pub population: usize,
@@ -102,6 +104,105 @@ impl Default for OptimizerConfig {
     }
 }
 
+impl OptimizerConfig {
+    /// The paper's error weight `we` of the reproduction `Level`
+    /// function for a metric: 0.1 under ER, 0.2 under NMED (§IV-A).
+    /// The single source of truth for every entry point that mimics
+    /// the paper's protocol.
+    pub fn paper_level_we(metric: tdals_sim::ErrorMetric) -> f64 {
+        match metric {
+            tdals_sim::ErrorMetric::ErrorRate => 0.1,
+            tdals_sim::ErrorMetric::Nmed => 0.2,
+        }
+    }
+
+    /// Sets the population size `N`.
+    pub fn with_population(mut self, population: usize) -> OptimizerConfig {
+        self.population = population;
+        self
+    }
+
+    /// Sets the iteration limit `Imax`.
+    pub fn with_iterations(mut self, iterations: usize) -> OptimizerConfig {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the error weight `we` of the reproduction `Level` function.
+    pub fn with_level_we(mut self, level_we: f64) -> OptimizerConfig {
+        self.level_we = level_we;
+        self
+    }
+
+    /// Sets the elite decision threshold `S_e`.
+    pub fn with_elite_threshold(mut self, elite_threshold: f64) -> OptimizerConfig {
+        self.elite_threshold = elite_threshold;
+        self
+    }
+
+    /// Sets the ω decision threshold `S_ω`.
+    pub fn with_omega_threshold(mut self, omega_threshold: f64) -> OptimizerConfig {
+        self.omega_threshold = omega_threshold;
+        self
+    }
+
+    /// Sets the starting fraction of the error budget for the
+    /// asymptotic relaxation schedule.
+    pub fn with_initial_constraint_fraction(mut self, fraction: f64) -> OptimizerConfig {
+        self.initial_constraint_fraction = fraction;
+        self
+    }
+
+    /// Sets the fraction of `Imax` at which the relaxation schedule
+    /// reaches the full error budget.
+    pub fn with_relax_horizon(mut self, relax_horizon: f64) -> OptimizerConfig {
+        self.relax_horizon = relax_horizon;
+        self
+    }
+
+    /// Sets the LAC count applied per initial population member.
+    pub fn with_initial_lacs(mut self, initial_lacs: usize) -> OptimizerConfig {
+        self.initial_lacs = initial_lacs;
+        self
+    }
+
+    /// Sets the circuit-searching tunables.
+    pub fn with_search(mut self, search: SearchConfig) -> OptimizerConfig {
+        self.search = search;
+        self
+    }
+
+    /// Sets double- or single-chase guidance.
+    pub fn with_chase(mut self, chase: ChaseStrategy) -> OptimizerConfig {
+        self.chase = chase;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> OptimizerConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for offspring evaluation.
+    pub fn with_threads(mut self, threads: usize) -> OptimizerConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the circuit-reproduction action.
+    pub fn with_reproduction(mut self, reproduction: bool) -> OptimizerConfig {
+        self.reproduction = reproduction;
+        self
+    }
+
+    /// Sets the incremental-simulation re-base period.
+    pub fn with_full_resim_every(mut self, n: usize) -> OptimizerConfig {
+        self.full_resim_every_n = n;
+        self
+    }
+}
+
 /// Per-iteration progress record.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationStats {
@@ -153,7 +254,38 @@ impl OptimizerResult {
 /// `error_bound` is the user's ER or NMED budget (the metric comes from
 /// the context). The returned best circuit always satisfies the bound;
 /// if no LAC is ever feasible it is the accurate circuit itself.
+///
+/// This is the unbudgeted, unobserved entry point; the session API
+/// ([`crate::api::Dcgwo`]) runs the same loop through
+/// [`optimize_session`] with identical results under an unlimited
+/// budget.
 pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> OptimizerResult {
+    let outcome = optimize_session(
+        ctx,
+        error_bound,
+        cfg,
+        &Budget::unlimited(),
+        &mut NopObserver,
+    );
+    OptimizerResult {
+        best: outcome.best,
+        population: outcome.population,
+        history: outcome.history,
+    }
+}
+
+/// [`optimize`] with a [`Budget`] honored at every iteration boundary
+/// and progress streamed to `obs`. Under [`Budget::unlimited`] the
+/// results are bit-identical to [`optimize`]: budget checks and event
+/// emission never touch the RNG stream.
+pub fn optimize_session(
+    ctx: &EvalContext,
+    error_bound: f64,
+    cfg: &OptimizerConfig,
+    budget: &Budget,
+    obs: &mut dyn Observer,
+) -> OptimizeOutcome {
+    let mut tracker = budget.start_tracking();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let horizon = ((cfg.iterations as f64 * cfg.relax_horizon).round() as usize)
         .clamp(1, cfg.iterations.max(1));
@@ -178,10 +310,18 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
     )
     .with_full_resim_every(cfg.full_resim_every_n);
     let accurate = ctx.evaluate_delta(&base_delta);
+    tracker.record_evaluations(1);
     let mut population: Vec<Candidate> = Vec::with_capacity(cfg.population);
     let mut best = accurate.clone();
     population.push(accurate.clone());
     while population.len() < cfg.population {
+        // The seeding phase honors the budget too: a pre-expired
+        // deadline or raised cancel flag must not pay population-many
+        // evaluations before the first loop-top verdict. The accurate
+        // anchor is already in, so stopping here is always safe.
+        if tracker.stop_before_iteration(0).is_some() {
+            break;
+        }
         let mut member = base_delta.clone();
         for _ in 0..cfg.initial_lacs.max(1) {
             if let Some(lac) = crate::lac::random_lac(
@@ -196,13 +336,25 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
             }
         }
         let cand = ctx.evaluate_delta(&member);
-        track_best(&mut best, &cand, error_bound);
+        tracker.record_evaluations(1);
+        if track_best(&mut best, &cand, error_bound) {
+            obs.on_event(&best_improved_event(0, &best));
+        }
         population.push(cand);
     }
 
+    let mut stop = StopReason::Completed;
     let mut history = Vec::with_capacity(cfg.iterations);
     for iter in 0..cfg.iterations {
+        if let Some(reason) = tracker.stop_before_iteration(iter) {
+            stop = reason;
+            break;
+        }
         let constraint = schedule.bound_at(iter);
+        obs.on_event(&FlowEvent::IterationStarted {
+            iteration: iter,
+            constraint,
+        });
         let a = 2.0 - 2.0 * iter as f64 / cfg.iterations.max(1) as f64;
         sort_by_fitness(&mut population);
 
@@ -223,9 +375,12 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
         // offspring stay un-materialized (scores only) until they
         // survive selection.
         let mut candidates: Vec<PoolEntry> = population.into_iter().map(PoolEntry::Ready).collect();
-        for entry in evaluate_batch(ctx, offspring, cfg.threads) {
+        let batch = evaluate_batch(ctx, offspring, cfg.threads);
+        tracker.record_evaluations(batch.len() as u64);
+        for entry in batch {
             if entry.error() <= error_bound && entry.fitness() > best.fitness {
                 best = entry.to_candidate();
+                obs.on_event(&best_improved_event(iter, &best));
             }
             candidates.push(entry);
         }
@@ -267,21 +422,29 @@ pub fn optimize(ctx: &EvalContext, error_bound: f64, cfg: &OptimizerConfig) -> O
             .iter()
             .max_by(|x, y| x.fitness.total_cmp(&y.fitness))
             .expect("population is never empty");
-        history.push(IterationStats {
+        let stats = IterationStats {
             iteration: iter,
             constraint,
             best_fitness: best_now.fitness,
             best_depth: best_now.depth,
             best_area: best_now.area,
             feasible: feasible_count,
-        });
+        };
+        history.push(stats);
+        obs.on_event(&FlowEvent::IterationFinished { stats });
     }
 
     sort_by_fitness(&mut population);
-    OptimizerResult {
+    obs.on_event(&FlowEvent::OptimizeFinished {
+        stop,
+        evaluations: tracker.evaluations(),
+    });
+    OptimizeOutcome {
         best,
         population,
         history,
+        evaluations: tracker.evaluations(),
+        stop,
     }
 }
 
@@ -428,9 +591,21 @@ fn sort_by_fitness(population: &mut [Candidate]) {
     population.sort_by(|x, y| y.fitness.total_cmp(&x.fitness));
 }
 
-fn track_best(best: &mut Candidate, cand: &Candidate, error_bound: f64) {
+fn track_best(best: &mut Candidate, cand: &Candidate, error_bound: f64) -> bool {
     if cand.error <= error_bound && cand.fitness > best.fitness {
         *best = cand.clone();
+        return true;
+    }
+    false
+}
+
+fn best_improved_event(iteration: usize, best: &Candidate) -> FlowEvent {
+    FlowEvent::BestImproved {
+        iteration,
+        fitness: best.fitness,
+        error: best.error,
+        depth: best.depth,
+        area: best.area,
     }
 }
 

@@ -431,6 +431,22 @@ impl EvalContext {
         .into_candidate(netlist)
     }
 
+    /// Depth and area objectives `(f_d, f_a)` for measured quantities.
+    fn objectives_from(&self, depth: u32, area: f64) -> (f64, f64) {
+        let fd = f64::from(self.depth_ori) / f64::from(depth.max(1));
+        let fa = self.area_ori / area.max(1e-9);
+        (fd, fa)
+    }
+
+    /// Scalar fitness `Fit = wd·f_d + wa·f_a` (Eq. 8) for a measured
+    /// depth and live area — the same formula every candidate is
+    /// scored with, exposed so other optimizers' progress statistics
+    /// stay comparable with DCGWO's.
+    pub fn fitness_from(&self, depth: u32, area: f64) -> f64 {
+        let (fd, fa) = self.objectives_from(depth, area);
+        self.depth_weight * fd + (1.0 - self.depth_weight) * fa
+    }
+
     /// Assembles the fitness terms (Eq. 8) from measured quantities.
     fn score_from(
         &self,
@@ -441,9 +457,8 @@ impl EvalContext {
         po_arrivals: Vec<f64>,
         po_errors: Vec<f64>,
     ) -> LacScore {
-        let fd = f64::from(self.depth_ori) / f64::from(depth.max(1));
-        let fa = self.area_ori / area.max(1e-9);
-        let fitness = self.depth_weight * fd + (1.0 - self.depth_weight) * fa;
+        let (fd, fa) = self.objectives_from(depth, area);
+        let fitness = self.fitness_from(depth, area);
         LacScore {
             depth,
             cpd,

@@ -1,19 +1,21 @@
-//! The end-to-end timing-driven ALS flow of Fig. 2: circuit
-//! representation → DCGWO → post-optimization, producing the final
-//! approximate netlist and its `Ratio_cpd = CPD_fac / CPD_ori`.
-
-use std::time::Instant;
+//! The legacy one-shot entry point for the Fig. 2 flow: circuit
+//! representation → DCGWO → post-optimization.
+//!
+//! Superseded by the [`crate::api`] session API — [`run_flow`] is kept
+//! as a thin deprecated shim over [`crate::api::Flow`] and produces
+//! results identical to the builder path for the same configuration.
 
 use tdals_netlist::Netlist;
-use tdals_sim::{ErrorMetric, Patterns};
+use tdals_sim::ErrorMetric;
 use tdals_sta::TimingConfig;
 
-use crate::dcgwo::{optimize, OptimizerConfig, OptimizerResult};
-use crate::fitness::EvalContext;
-use crate::postopt::{post_optimize, PostOptConfig, PostOptReport};
+use crate::api::{Dcgwo, Flow};
+use crate::dcgwo::{OptimizerConfig, OptimizerResult};
+use crate::postopt::PostOptReport;
 
 /// Everything needed to run the flow on one circuit.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct FlowConfig {
     /// Error metric (ER for random/control, NMED for arithmetic).
     pub metric: ErrorMetric,
@@ -34,17 +36,20 @@ pub struct FlowConfig {
     pub timing: TimingConfig,
 }
 
+/// The paper's ER protocol at a 5% budget; see
+/// [`FlowConfig::paper_defaults`] to pick metric and bound explicitly.
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig::paper_defaults(ErrorMetric::ErrorRate, 0.05)
+    }
+}
+
 impl FlowConfig {
     /// The paper's configuration for a given metric and error bound
     /// (`we` = 0.1 under ER, 0.2 under NMED).
     pub fn paper_defaults(metric: ErrorMetric, error_bound: f64) -> FlowConfig {
-        let optimizer = OptimizerConfig {
-            level_we: match metric {
-                ErrorMetric::ErrorRate => 0.1,
-                ErrorMetric::Nmed => 0.2,
-            },
-            ..OptimizerConfig::default()
-        };
+        let optimizer =
+            OptimizerConfig::default().with_level_we(OptimizerConfig::paper_level_we(metric));
         FlowConfig {
             metric,
             error_bound,
@@ -55,6 +60,54 @@ impl FlowConfig {
             area_con: None,
             timing: TimingConfig::default(),
         }
+    }
+
+    /// Sets the error metric.
+    pub fn with_metric(mut self, metric: ErrorMetric) -> FlowConfig {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the error budget.
+    pub fn with_error_bound(mut self, error_bound: f64) -> FlowConfig {
+        self.error_bound = error_bound;
+        self
+    }
+
+    /// Sets the Monte-Carlo vector count.
+    pub fn with_vectors(mut self, vectors: usize) -> FlowConfig {
+        self.vectors = vectors;
+        self
+    }
+
+    /// Sets the stimulus seed.
+    pub fn with_pattern_seed(mut self, pattern_seed: u64) -> FlowConfig {
+        self.pattern_seed = pattern_seed;
+        self
+    }
+
+    /// Sets the depth weight `wd`.
+    pub fn with_depth_weight(mut self, depth_weight: f64) -> FlowConfig {
+        self.depth_weight = depth_weight;
+        self
+    }
+
+    /// Sets the optimizer parameters.
+    pub fn with_optimizer(mut self, optimizer: OptimizerConfig) -> FlowConfig {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets the post-optimization area constraint (`None` = `Area_ori`).
+    pub fn with_area_con(mut self, area_con: impl Into<Option<f64>>) -> FlowConfig {
+        self.area_con = area_con.into();
+        self
+    }
+
+    /// Sets the timing parasitics.
+    pub fn with_timing(mut self, timing: TimingConfig) -> FlowConfig {
+        self.timing = timing;
+        self
     }
 }
 
@@ -85,45 +138,62 @@ pub struct FlowResult {
 
 /// Runs the complete flow on an accurate circuit.
 ///
+/// Deprecated shim over the session API; it delegates to
+/// [`crate::api::Flow`] with an unlimited budget, so results are
+/// identical to the builder path for the same configuration.
+///
+/// # Panics
+///
+/// Panics where the session API would return a typed
+/// [`crate::api::FlowError`] (bad bound, empty netlist, bad depth
+/// weight) — the legacy behaviour.
+///
 /// # Examples
 ///
 /// ```no_run
 /// use tdals_circuits::Benchmark;
+/// #[allow(deprecated)]
 /// use tdals_core::{run_flow, FlowConfig};
 /// use tdals_sim::ErrorMetric;
 ///
 /// let accurate = Benchmark::Max16.build();
 /// let cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
+/// # #[allow(deprecated)]
 /// let result = run_flow(&accurate, &cfg);
 /// assert!(result.ratio_cpd <= 1.0);
 /// assert!(result.error <= 0.0244);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use the session API: tdals_core::api::Flow::for_netlist(&nl).metric(..).error_bound(..).run()"
+)]
 pub fn run_flow(accurate: &Netlist, cfg: &FlowConfig) -> FlowResult {
-    let start = Instant::now();
-    let patterns = Patterns::random(accurate.input_count(), cfg.vectors, cfg.pattern_seed);
-    let ctx = EvalContext::new(accurate, patterns, cfg.metric, cfg.timing, cfg.depth_weight);
-    let optimizer = optimize(&ctx, cfg.error_bound, &cfg.optimizer);
-
-    let mut netlist = optimizer.best.netlist.clone();
-    let area_con = cfg.area_con.unwrap_or_else(|| ctx.area_ori());
-    let post_opt = post_optimize(&mut netlist, &cfg.timing, &PostOptConfig::new(area_con));
-
-    let cpd_ori = ctx.cpd_ori();
-    let cpd_fac = post_opt.cpd_final;
-    // Error is invariant under post-optimization (sweep + sizing are
-    // function-preserving), but re-measure for the report.
-    let error = ctx.evaluator().error_of(&netlist);
+    let outcome = Flow::for_netlist(accurate)
+        .metric(cfg.metric)
+        .error_bound(cfg.error_bound)
+        .vectors(cfg.vectors)
+        .pattern_seed(cfg.pattern_seed)
+        .depth_weight(cfg.depth_weight)
+        .timing(cfg.timing)
+        .area_constraint(cfg.area_con)
+        .optimizer(Dcgwo::new(cfg.optimizer.clone()))
+        .run()
+        .unwrap_or_else(|e| panic!("invalid flow configuration: {e}"));
     FlowResult {
-        cpd_ori,
-        cpd_fac,
-        ratio_cpd: cpd_fac / cpd_ori.max(1e-9),
-        error,
-        area: netlist.area_live(),
-        area_con,
-        optimizer,
-        post_opt,
-        runtime_s: start.elapsed().as_secs_f64(),
-        netlist,
+        netlist: outcome.netlist,
+        cpd_ori: outcome.cpd_ori,
+        cpd_fac: outcome.cpd_fac,
+        ratio_cpd: outcome.ratio_cpd,
+        error: outcome.error,
+        area: outcome.area,
+        area_con: outcome.area_con,
+        optimizer: OptimizerResult {
+            best: outcome.optimize.best,
+            population: outcome.optimize.population,
+            history: outcome.optimize.history,
+        },
+        post_opt: outcome.post_opt,
+        runtime_s: outcome.runtime_s,
     }
 }
 
@@ -152,11 +222,16 @@ mod tests {
         cfg
     }
 
+    fn run_shim(accurate: &Netlist, cfg: &FlowConfig) -> FlowResult {
+        #[allow(deprecated)]
+        run_flow(accurate, cfg)
+    }
+
     #[test]
     fn flow_improves_cpd_within_error_budget() {
         let n = adder();
         let cfg = quick_cfg(ErrorMetric::ErrorRate, 0.08);
-        let result = run_flow(&n, &cfg);
+        let result = run_shim(&n, &cfg);
         assert!(result.error <= 0.08 + 1e-12);
         assert!(result.ratio_cpd <= 1.0 + 1e-9, "ratio {}", result.ratio_cpd);
         assert!(result.area <= result.area_con + 1e-9);
@@ -170,7 +245,7 @@ mod tests {
     fn flow_under_nmed() {
         let n = adder();
         let cfg = quick_cfg(ErrorMetric::Nmed, 0.02);
-        let result = run_flow(&n, &cfg);
+        let result = run_shim(&n, &cfg);
         assert!(result.error <= 0.02 + 1e-12);
         assert!(result.ratio_cpd <= 1.0 + 1e-9);
     }
@@ -180,20 +255,57 @@ mod tests {
         let n = adder();
         let mut cfg = quick_cfg(ErrorMetric::ErrorRate, 0.08);
         cfg.optimizer.chase = ChaseStrategy::SingleChase;
-        let result = run_flow(&n, &cfg);
+        let result = run_shim(&n, &cfg);
         assert!(result.error <= 0.08 + 1e-12);
     }
 
     #[test]
     fn looser_budget_is_at_least_as_good() {
         let n = adder();
-        let tight = run_flow(&n, &quick_cfg(ErrorMetric::ErrorRate, 0.01));
-        let loose = run_flow(&n, &quick_cfg(ErrorMetric::ErrorRate, 0.20));
+        let tight = run_shim(&n, &quick_cfg(ErrorMetric::ErrorRate, 0.01));
+        let loose = run_shim(&n, &quick_cfg(ErrorMetric::ErrorRate, 0.20));
         assert!(
             loose.ratio_cpd <= tight.ratio_cpd + 0.05,
             "loose {} vs tight {}",
             loose.ratio_cpd,
             tight.ratio_cpd
         );
+    }
+
+    #[test]
+    fn shim_matches_session_api_exactly() {
+        // The deprecated shim and the builder path must agree
+        // bit-for-bit on a pinned seed.
+        let n = adder();
+        let cfg = quick_cfg(ErrorMetric::ErrorRate, 0.06);
+        let legacy = run_shim(&n, &cfg);
+        let session = Flow::for_netlist(&n)
+            .metric(cfg.metric)
+            .error_bound(cfg.error_bound)
+            .vectors(cfg.vectors)
+            .pattern_seed(cfg.pattern_seed)
+            .depth_weight(cfg.depth_weight)
+            .timing(cfg.timing)
+            .area_constraint(cfg.area_con)
+            .optimizer(Dcgwo::new(cfg.optimizer.clone()))
+            .run()
+            .expect("valid session");
+        assert_eq!(legacy.netlist, session.netlist);
+        assert_eq!(legacy.error, session.error);
+        assert_eq!(legacy.cpd_fac, session.cpd_fac);
+        assert_eq!(legacy.area, session.area);
+        assert_eq!(
+            legacy.optimizer.history.len(),
+            session.optimize.history.len()
+        );
+        for (a, b) in legacy
+            .optimizer
+            .history
+            .iter()
+            .zip(&session.optimize.history)
+        {
+            assert_eq!(a.best_fitness, b.best_fitness);
+            assert_eq!(a.feasible, b.feasible);
+        }
     }
 }

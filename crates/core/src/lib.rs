@@ -20,29 +20,34 @@
 //! 3. **Post-optimization** ([`post_optimize`]) — dangling-gate
 //!    deletion and greedy gate re-sizing under an area constraint.
 //!
-//! [`run_flow`] glues the three steps together and reports the paper's
-//! headline metric `Ratio_cpd = CPD_fac / CPD_ori`.
+//! The [`api`] module glues the three steps together behind one
+//! session API — an [`Optimizer`] trait every method implements and a
+//! builder-style [`Flow`] — and reports the paper's headline metric
+//! `Ratio_cpd = CPD_fac / CPD_ori`.
 //!
 //! # Examples
 //!
 //! ```
 //! use tdals_circuits::Benchmark;
-//! use tdals_core::{run_flow, FlowConfig};
+//! use tdals_core::api::{Dcgwo, Flow};
 //! use tdals_sim::ErrorMetric;
 //!
 //! let accurate = Benchmark::Int2float.build();
-//! let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
-//! cfg.vectors = 1024;               // quick demo settings
-//! cfg.optimizer.population = 8;
-//! cfg.optimizer.iterations = 4;
-//! let result = run_flow(&accurate, &cfg);
-//! assert!(result.error <= 0.0244);
-//! assert!(result.ratio_cpd <= 1.0);
+//! let outcome = Flow::for_netlist(&accurate)
+//!     .metric(ErrorMetric::Nmed)
+//!     .error_bound(0.0244)
+//!     .vectors(1024) // quick demo settings
+//!     .optimizer(Dcgwo::paper_for(ErrorMetric::Nmed).quick(8, 4))
+//!     .run()
+//!     .expect("valid configuration");
+//! assert!(outcome.error <= 0.0244);
+//! assert!(outcome.ratio_cpd <= 1.0);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod api;
 mod dcgwo;
 mod fitness;
 mod flow;
@@ -53,8 +58,15 @@ mod reproduce;
 mod schedule;
 mod search;
 
-pub use dcgwo::{optimize, ChaseStrategy, IterationStats, OptimizerConfig, OptimizerResult};
+pub use api::{
+    Budget, BudgetTracker, CancelFlag, Dcgwo, Flow, FlowError, FlowEvent, FlowOutcome, FnObserver,
+    NopObserver, Observer, OptimizeOutcome, Optimizer, StopReason,
+};
+pub use dcgwo::{
+    optimize, optimize_session, ChaseStrategy, IterationStats, OptimizerConfig, OptimizerResult,
+};
 pub use fitness::{Candidate, DeltaEval, EvalContext, LacScore};
+#[allow(deprecated)]
 pub use flow::{run_flow, FlowConfig, FlowResult};
 pub use lac::{collect_targets, random_lac, select_switch, Lac};
 pub use postopt::{post_optimize, PostOptConfig, PostOptReport};

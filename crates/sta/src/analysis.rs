@@ -18,6 +18,7 @@ use tdals_netlist::{GateId, Netlist, SignalRef};
 /// assert!(cfg.wire_cap_per_fanout > 0.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct TimingConfig {
     /// Wire capacitance in fF added per fan-out branch.
     pub wire_cap_per_fanout: f64,
@@ -41,6 +42,18 @@ impl TimingConfig {
             wire_cap_per_fanout,
             po_load,
         }
+    }
+
+    /// Sets the wire capacitance added per fan-out branch, fF.
+    pub fn with_wire_cap_per_fanout(mut self, wire_cap_per_fanout: f64) -> TimingConfig {
+        self.wire_cap_per_fanout = wire_cap_per_fanout;
+        self
+    }
+
+    /// Sets the capacitive load on each primary output, fF.
+    pub fn with_po_load(mut self, po_load: f64) -> TimingConfig {
+        self.po_load = po_load;
+        self
     }
 }
 

@@ -1,6 +1,7 @@
 //! Bring your own netlist: build a custom datapath with the netlist
-//! builder (or parse it from structural Verilog), approximate it, and
-//! inspect the optimizer's population trajectory.
+//! builder (or parse it from structural Verilog), approximate it
+//! through the session API with a wall-clock budget and cooperative
+//! cancellation wired up, and inspect the optimizer's trajectory.
 //!
 //! The workload is a small multiply-accumulate unit — the kind of
 //! error-tolerant DSP kernel approximate computing targets.
@@ -9,8 +10,10 @@
 //! cargo run --release --example custom_circuit
 //! ```
 
+use std::time::Duration;
+
 use tdals::circuits::arith::array_multiplier;
-use tdals::core::{run_flow, FlowConfig};
+use tdals::core::api::{Budget, Dcgwo, Flow};
 use tdals::netlist::builder::Builder;
 use tdals::netlist::{verilog, SignalRef};
 use tdals::sim::ErrorMetric;
@@ -27,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.output("cout", carry);
     let mac = b.finish();
 
-    // Round-trip through Verilog to show the I/O path a real flow uses.
+    // Round-trip through Verilog to show the I/O path a real flow
+    // uses; the stats below come from the *parsed* netlist, so a lossy
+    // round-trip would show up here. (Flow::for_verilog does the parse
+    // and session in one step, surfacing parse problems as typed
+    // FlowErrors.)
     let text = verilog::to_verilog(&mac);
     let mac = verilog::parse(&text)?;
     println!(
@@ -37,23 +44,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mac.input_count(),
         mac.output_count()
     );
+    let flow = Flow::for_netlist(&mac);
 
-    let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.02);
-    cfg.vectors = 2048;
-    cfg.optimizer.population = 12;
-    cfg.optimizer.iterations = 10;
-    let result = run_flow(&mac, &cfg);
+    // A deadline-bounded run with a cancel handle: the optimizer stops
+    // within one iteration of either trigger and still returns its best
+    // feasible circuit. (The handle is unused here, but this is how a
+    // serving layer would wire up request cancellation.)
+    let budget = Budget::unlimited().with_deadline(Duration::from_secs(120));
+    let _cancel_handle = budget.cancel_flag();
+
+    let result = flow
+        .metric(ErrorMetric::Nmed)
+        .error_bound(0.02)
+        .vectors(2048)
+        .budget(budget)
+        .optimizer(Dcgwo::paper_for(ErrorMetric::Nmed).quick(12, 10))
+        .run()?;
 
     println!("\niter  constraint  best_fitness  depth  area");
-    for h in &result.optimizer.history {
+    for h in result.history() {
         println!(
             "{:>4}  {:>10.5}  {:>12.4}  {:>5}  {:>6.1}",
             h.iteration, h.constraint, h.best_fitness, h.best_depth, h.best_area
         );
     }
     println!(
-        "\nRatio_cpd = {:.4}, NMED = {:.5}, runtime = {:.2}s",
-        result.ratio_cpd, result.error, result.runtime_s
+        "\nRatio_cpd = {:.4}, NMED = {:.5}, stopped: {}, runtime = {:.2}s",
+        result.ratio_cpd,
+        result.error,
+        result.stop(),
+        result.runtime_s
     );
     Ok(())
 }

@@ -12,7 +12,7 @@
 //! ```
 
 use tdals::circuits::Benchmark;
-use tdals::core::{run_flow, FlowConfig};
+use tdals::core::api::{Dcgwo, Flow};
 use tdals::netlist::verilog;
 use tdals::sim::ErrorMetric;
 
@@ -31,11 +31,13 @@ fn main() {
     let budgets = [0.0048, 0.0098, 0.0147, 0.0196, 0.0244];
     let mut last = None;
     for &budget in &budgets {
-        let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, budget);
-        cfg.vectors = 2048;
-        cfg.optimizer.population = 12;
-        cfg.optimizer.iterations = 10;
-        let result = run_flow(&accurate, &cfg);
+        let result = Flow::for_netlist(&accurate)
+            .metric(ErrorMetric::Nmed)
+            .error_bound(budget)
+            .vectors(2048)
+            .optimizer(Dcgwo::paper_for(ErrorMetric::Nmed).quick(12, 10))
+            .run()
+            .expect("valid flow configuration");
         println!(
             "{:>10.4} {:>10.5} {:>10.4} {:>10.2}",
             budget, result.error, result.ratio_cpd, result.area

@@ -1,14 +1,16 @@
 //! Method shoot-out on a random/control workload: run all five flows
 //! (VECBEE-S, VaACS, HEDALS, single-chase GWO, DCGWO) on the c880-class
 //! 8-bit ALU under a 5% error-rate budget — a single row of the paper's
-//! TABLE II.
+//! TABLE II — every one through the same `Optimizer` trait and `Flow`
+//! session.
 //!
 //! ```sh
 //! cargo run --release --example method_comparison
 //! ```
 
-use tdals::baselines::{run_method, MethodConfig, ALL_METHODS};
+use tdals::baselines::{MethodConfig, ALL_METHODS};
 use tdals::circuits::Benchmark;
+use tdals::core::api::Flow;
 use tdals::core::EvalContext;
 use tdals::sim::{ErrorMetric, Patterns};
 use tdals::sta::TimingConfig;
@@ -36,14 +38,17 @@ fn main() {
         "method", "Ratio_cpd", "ER", "area µm²", "runtime s"
     );
 
-    let cfg = MethodConfig {
-        population: 12,
-        iterations: 10,
-        level_we: 0.1,
-        seed: 7,
-    };
+    let cfg = MethodConfig::default()
+        .with_population(12)
+        .with_iterations(10)
+        .with_level_we(0.1)
+        .with_seed(7);
     for method in ALL_METHODS {
-        let result = run_method(&ctx, method, 0.05, None, &cfg);
+        let result = Flow::for_context(&ctx)
+            .error_bound(0.05)
+            .optimizer(method.optimizer(&cfg))
+            .run()
+            .expect("valid flow configuration");
         println!(
             "{:<10} {:>10.4} {:>9.4} {:>11.2} {:>11.2}",
             method.label(),

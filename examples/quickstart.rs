@@ -1,12 +1,12 @@
-//! Quick start: approximate one benchmark circuit and report the
-//! timing gain.
+//! Quick start: approximate one benchmark circuit through the session
+//! API and report the timing gain, streaming progress while it runs.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use tdals::circuits::Benchmark;
-use tdals::core::{run_flow, FlowConfig};
+use tdals::core::api::{Dcgwo, Flow, FlowEvent};
 use tdals::sim::ErrorMetric;
 
 fn main() {
@@ -20,14 +20,27 @@ fn main() {
         accurate.output_count()
     );
 
-    let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
-    // Laptop-friendly effort; bump these toward (30, 20) for paper-scale
-    // runs.
-    cfg.vectors = 2048;
-    cfg.optimizer.population = 12;
-    cfg.optimizer.iterations = 10;
-
-    let result = run_flow(&accurate, &cfg);
+    let result = Flow::for_netlist(&accurate)
+        .metric(ErrorMetric::Nmed)
+        .error_bound(0.0244)
+        // Laptop-friendly effort; bump toward (30, 20) for paper-scale
+        // runs.
+        .vectors(2048)
+        .optimizer(Dcgwo::paper_for(ErrorMetric::Nmed).quick(12, 10))
+        .observe(|ev: &FlowEvent| {
+            if let FlowEvent::IterationFinished { stats } = ev {
+                println!(
+                    "  iter {:>2}: constraint {:.5}, best fitness {:.4}, depth {}, area {:.1}",
+                    stats.iteration,
+                    stats.constraint,
+                    stats.best_fitness,
+                    stats.best_depth,
+                    stats.best_area
+                );
+            }
+        })
+        .run()
+        .expect("valid flow configuration");
 
     println!("CPD_ori   = {:8.2} ps", result.cpd_ori);
     println!("CPD_fac   = {:8.2} ps", result.cpd_fac);
@@ -44,6 +57,11 @@ fn main() {
     println!(
         "post-opt  = {} dangling gates removed, {} sizing moves",
         result.post_opt.gates_removed, result.post_opt.sizing_moves
+    );
+    println!(
+        "stopped   = {} after {} evaluations",
+        result.stop(),
+        result.optimize.evaluations
     );
     println!("runtime   = {:8.2} s", result.runtime_s);
 }

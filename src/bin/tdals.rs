@@ -3,7 +3,8 @@
 //! Subcommands:
 //!
 //! * `flow`   — approximate a structural-Verilog netlist (or a named
-//!   benchmark) under an ER/NMED budget and write the result as Verilog;
+//!   benchmark) under an ER/NMED budget with any of the five methods
+//!   and write the result as Verilog;
 //! * `report` — static timing + statistics report for a netlist;
 //! * `bench`  — emit one of the paper's regenerated benchmarks as
 //!   Verilog.
@@ -11,6 +12,7 @@
 //! ```sh
 //! tdals bench --name Adder16 --output adder16.v
 //! tdals flow --input adder16.v --metric nmed --bound 0.0244 --output approx.v
+//! tdals flow --input bench:Max16 --metric nmed --bound 0.0244 --method hedals --progress
 //! tdals report --input approx.v
 //! ```
 
@@ -18,8 +20,9 @@ use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
 
-use tdals::baselines::{run_method, Method, MethodConfig};
+use tdals::baselines::{Method, MethodConfig};
 use tdals::circuits::{Benchmark, ALL_BENCHMARKS};
+use tdals::core::api::{Flow, FlowEvent};
 use tdals::core::EvalContext;
 use tdals::netlist::{verilog, Netlist};
 use tdals::sim::{ErrorMetric, Patterns};
@@ -29,12 +32,31 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             eprintln!();
             eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+        Err(CliError::Run(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A usage error reprints the option summary; a run error (bad bound,
+/// unknown benchmark, I/O or parse failure) is reported on its own —
+/// the user typed a structurally valid command line and a usage dump
+/// would bury the actual problem.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl CliError {
+    fn run(message: impl Into<String>) -> CliError {
+        CliError::Run(message.into())
     }
 }
 
@@ -42,22 +64,25 @@ const USAGE: &str = "usage:
   tdals flow   --input <file.v | bench:NAME> --metric <er|nmed> --bound <f>
                [--method <dcgwo|gwo|hedals|greedy|vaacs>] [--output <file.v>]
                [--population <n>] [--iterations <n>] [--vectors <n>]
-               [--area-con <µm²>] [--seed <n>]
+               [--area-con <µm²>] [--seed <n>] [--progress]
   tdals report --input <file.v | bench:NAME>
   tdals bench  --name <NAME> [--output <file.v>]
   tdals list";
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Options that are flags (present/absent, no value).
+const FLAGS: [&str; 1] = ["progress"];
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = args.split_first() else {
-        return Err("missing subcommand".into());
+        return Err(CliError::Usage("missing subcommand".into()));
     };
-    let opts = parse_options(rest)?;
+    let opts = parse_options(rest).map_err(CliError::Usage)?;
     match command.as_str() {
         "flow" => cmd_flow(&opts),
         "report" => cmd_report(&opts),
         "bench" => cmd_bench(&opts),
         "list" => cmd_list(),
-        other => Err(format!("unknown subcommand `{other}`")),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }
 
@@ -68,6 +93,10 @@ fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, found `{key}`"));
         };
+        if FLAGS.contains(&name) {
+            opts.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{name} requires a value"))?;
@@ -76,29 +105,30 @@ fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(opts)
 }
 
-fn load_input(opts: &HashMap<String, String>) -> Result<Netlist, String> {
+fn load_input(opts: &HashMap<String, String>) -> Result<Netlist, CliError> {
     let input = opts
         .get("input")
-        .ok_or_else(|| "--input is required".to_owned())?;
+        .ok_or_else(|| CliError::Usage("--input is required".into()))?;
     if let Some(name) = input.strip_prefix("bench:") {
         return benchmark_by_name(name).map(Benchmark::build);
     }
-    let text = fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
-    verilog::parse(&text).map_err(|e| format!("parsing {input}: {e}"))
+    let text =
+        fs::read_to_string(input).map_err(|e| CliError::run(format!("reading {input}: {e}")))?;
+    verilog::parse(&text).map_err(|e| CliError::run(format!("parsing {input}: {e}")))
 }
 
-fn benchmark_by_name(name: &str) -> Result<Benchmark, String> {
+fn benchmark_by_name(name: &str) -> Result<Benchmark, CliError> {
     ALL_BENCHMARKS
         .into_iter()
         .find(|b| b.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown benchmark `{name}` (try `tdals list`)"))
+        .ok_or_else(|| CliError::run(format!("unknown benchmark `{name}` (try `tdals list`)")))
 }
 
-fn write_output(opts: &HashMap<String, String>, netlist: &Netlist) -> Result<(), String> {
+fn write_output(opts: &HashMap<String, String>, netlist: &Netlist) -> Result<(), CliError> {
     let text = verilog::to_verilog(netlist);
     match opts.get("output") {
         Some(path) => {
-            fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            fs::write(path, &text).map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
             eprintln!("wrote {path}");
         }
         None => print!("{text}"),
@@ -110,57 +140,76 @@ fn parse_num<T: std::str::FromStr>(
     opts: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     match opts.get(key) {
         Some(v) => v
             .parse()
-            .map_err(|_| format!("--{key}: invalid value `{v}`")),
+            .map_err(|_| CliError::run(format!("--{key}: invalid value `{v}`"))),
         None => Ok(default),
     }
 }
 
-fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), String> {
+/// Parses and validates `--bound`: a finite number in `[0, 1]` (both ER
+/// and NMED are normalized), rejecting NaN, negatives, and values
+/// above 1 up front instead of letting them reach the optimizer.
+fn parse_bound(opts: &HashMap<String, String>) -> Result<f64, CliError> {
+    let raw = opts
+        .get("bound")
+        .ok_or_else(|| CliError::Usage("--bound is required".into()))?;
+    let bound: f64 = raw
+        .parse()
+        .map_err(|_| CliError::run(format!("--bound: `{raw}` is not a number")))?;
+    // `contains` rejects NaN too: NaN compares false against both ends.
+    if !(0.0..=1.0).contains(&bound) {
+        return Err(CliError::run(format!(
+            "--bound: {raw} is out of range (error bounds are in [0, 1])"
+        )));
+    }
+    Ok(bound)
+}
+
+fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let accurate = load_input(opts)?;
     let metric = match opts.get("metric").map(String::as_str) {
         Some("er") => ErrorMetric::ErrorRate,
         Some("nmed") => ErrorMetric::Nmed,
-        Some(other) => return Err(format!("--metric must be er|nmed, got `{other}`")),
-        None => return Err("--metric is required".into()),
+        // A bad value on a structurally valid command line is a run
+        // error, like `--bound` and `--method`; only a missing option
+        // warrants the usage dump.
+        Some(other) => {
+            return Err(CliError::run(format!(
+                "--metric must be er|nmed, got `{other}`"
+            )))
+        }
+        None => return Err(CliError::Usage("--metric is required".into())),
     };
-    let bound: f64 = opts
-        .get("bound")
-        .ok_or_else(|| "--bound is required".to_owned())?
-        .parse()
-        .map_err(|_| "--bound: invalid number".to_owned())?;
+    let bound = parse_bound(opts)?;
     let method = match opts.get("method").map(String::as_str) {
         None | Some("dcgwo") => Method::Dcgwo,
         Some("gwo") => Method::SingleChaseGwo,
         Some("hedals") => Method::Hedals,
         Some("greedy") => Method::VecbeeSasimi,
         Some("vaacs") => Method::Vaacs,
-        Some(other) => return Err(format!("unknown method `{other}`")),
+        Some(other) => return Err(CliError::run(format!("unknown method `{other}`"))),
     };
     let vectors = parse_num(opts, "vectors", 4096usize)?;
     let seed = parse_num(opts, "seed", 1u64)?;
-    let cfg = MethodConfig {
-        population: parse_num(opts, "population", 30usize)?,
-        iterations: parse_num(opts, "iterations", 20usize)?,
-        level_we: match metric {
-            ErrorMetric::ErrorRate => 0.1,
-            ErrorMetric::Nmed => 0.2,
-        },
-        seed,
-    };
+    let cfg = MethodConfig::default()
+        .with_population(parse_num(opts, "population", 30usize)?)
+        .with_iterations(parse_num(opts, "iterations", 20usize)?)
+        .with_level_we(tdals::core::OptimizerConfig::paper_level_we(metric))
+        .with_seed(seed);
 
     let patterns = Patterns::random(accurate.input_count(), vectors, seed);
     let ctx = EvalContext::new(&accurate, patterns, metric, TimingConfig::default(), 0.8);
     let area_con = match opts.get("area-con") {
         Some(v) => Some(
             v.parse::<f64>()
-                .map_err(|_| "--area-con: invalid number".to_owned())?,
+                .map_err(|_| CliError::run("--area-con: invalid number"))?,
         ),
         None => None,
     };
+    let progress = opts.contains_key("progress");
 
     eprintln!(
         "flow: {} gates, CPD_ori {:.2} ps, Area_ori {:.2} µm², method {}",
@@ -169,15 +218,74 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), String> {
         ctx.area_ori(),
         method.label()
     );
-    let result = run_method(&ctx, method, bound, area_con, &cfg);
+    let result = Flow::for_context(&ctx)
+        .error_bound(bound)
+        .area_constraint(area_con)
+        .optimizer(method.optimizer(&cfg))
+        .observe(move |ev: &FlowEvent| {
+            if progress {
+                print_progress(ev);
+            }
+        })
+        .run()
+        .map_err(|e| CliError::run(e.to_string()))?;
     eprintln!(
-        "done: Ratio_cpd {:.4}, CPD_fac {:.2} ps, error {:.5}, area {:.2} µm², {:.1}s",
-        result.ratio_cpd, result.cpd_fac, result.error, result.area, result.runtime_s
+        "done: Ratio_cpd {:.4}, CPD_fac {:.2} ps, error {:.5}, area {:.2} µm², {:.1}s ({})",
+        result.ratio_cpd,
+        result.cpd_fac,
+        result.error,
+        result.area,
+        result.runtime_s,
+        result.stop()
     );
     write_output(opts, &result.netlist)
 }
 
-fn cmd_report(opts: &HashMap<String, String>) -> Result<(), String> {
+/// Renders streaming flow events for `--progress` (stderr, so piped
+/// Verilog output stays clean).
+fn print_progress(ev: &FlowEvent) {
+    match ev {
+        FlowEvent::FlowStarted {
+            optimizer,
+            gates,
+            cpd_ori,
+            error_bound,
+            ..
+        } => eprintln!(
+            "[{optimizer}] start: {gates} gates, CPD_ori {cpd_ori:.2} ps, bound {error_bound}"
+        ),
+        FlowEvent::IterationFinished { stats } => eprintln!(
+            "  iter {:>3}: constraint {:.5}, best fitness {:.4}, depth {}, area {:.1}, {} feasible",
+            stats.iteration,
+            stats.constraint,
+            stats.best_fitness,
+            stats.best_depth,
+            stats.best_area,
+            stats.feasible
+        ),
+        FlowEvent::BestImproved {
+            iteration,
+            fitness,
+            error,
+            ..
+        } => eprintln!("  iter {iteration:>3}: new best fitness {fitness:.4} (error {error:.5})"),
+        FlowEvent::LacAccepted {
+            iteration,
+            error,
+            area,
+        } => eprintln!("  iter {iteration:>3}: LAC accepted (error {error:.5}, area {area:.1})"),
+        FlowEvent::OptimizeFinished { stop, evaluations } => {
+            eprintln!("optimizer {stop} after {evaluations} evaluations");
+        }
+        FlowEvent::PostOptFinished { report } => eprintln!(
+            "post-opt: {} gates swept, {} sizing moves, CPD {:.2} -> {:.2} ps",
+            report.gates_removed, report.sizing_moves, report.cpd_before, report.cpd_final
+        ),
+        _ => {}
+    }
+}
+
+fn cmd_report(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let netlist = load_input(opts)?;
     let cfg = TimingConfig::default();
     let report = analyze(&netlist, &cfg);
@@ -220,10 +328,10 @@ fn cmd_report(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let name = opts
         .get("name")
-        .ok_or_else(|| "--name is required".to_owned())?;
+        .ok_or_else(|| CliError::Usage("--name is required".into()))?;
     let bench = benchmark_by_name(name)?;
     let netlist = bench.build();
     eprintln!(
@@ -237,7 +345,7 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     write_output(opts, &netlist)
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CliError> {
     println!("{:<12} {:<10} {:>7}  description", "name", "class", "#gate");
     for bench in ALL_BENCHMARKS {
         let n = bench.build();

@@ -21,22 +21,31 @@
 //!
 //! # Quick start
 //!
+//! Every optimizer — DCGWO and all four baselines — plugs into the
+//! same builder-style session (`tdals::core::api`), which streams
+//! progress events, honors budgets/cancellation, and returns one
+//! unified outcome type:
+//!
 //! ```
 //! use tdals::circuits::Benchmark;
-//! use tdals::core::{run_flow, FlowConfig};
+//! use tdals::core::api::{Dcgwo, Flow};
 //! use tdals::sim::ErrorMetric;
 //!
 //! // Approximate the 16-bit max unit under a 2.44% NMED budget.
 //! let accurate = Benchmark::Max16.build();
-//! let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
-//! cfg.vectors = 1024;              // demo-sized settings
-//! cfg.optimizer.population = 8;
-//! cfg.optimizer.iterations = 4;
-//!
-//! let result = run_flow(&accurate, &cfg);
-//! assert!(result.error <= 0.0244);
-//! assert!(result.ratio_cpd <= 1.0); // never slower than the input
+//! let outcome = Flow::for_netlist(&accurate)
+//!     .metric(ErrorMetric::Nmed)
+//!     .error_bound(0.0244)
+//!     .vectors(1024) // demo-sized settings
+//!     .optimizer(Dcgwo::paper_for(ErrorMetric::Nmed).quick(8, 4))
+//!     .run()
+//!     .expect("valid configuration");
+//! assert!(outcome.error <= 0.0244);
+//! assert!(outcome.ratio_cpd <= 1.0); // never slower than the input
 //! ```
+//!
+//! Swap the optimizer to compare methods under identical protocol:
+//! `.optimizer(tdals::baselines::Method::Hedals.optimizer(&cfg))`.
 
 pub use tdals_baselines as baselines;
 pub use tdals_circuits as circuits;

@@ -88,3 +88,97 @@ fn bad_arguments_fail_with_usage() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage"), "stderr: {err}");
 }
+
+#[test]
+fn flow_with_method_and_progress_streams_events() {
+    let out = tdals()
+        .args([
+            "flow",
+            "--input",
+            "bench:Max16",
+            "--metric",
+            "nmed",
+            "--bound",
+            "0.0244",
+            "--method",
+            "hedals",
+            "--progress",
+            "--iterations",
+            "3",
+            "--vectors",
+            "512",
+        ])
+        .output()
+        .expect("run tdals flow");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[HEDALS] start"), "stderr: {err}");
+    assert!(err.contains("iter"), "stderr: {err}");
+    assert!(err.contains("post-opt:"), "stderr: {err}");
+    // The approximate netlist still lands on stdout, parseable.
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    tdals::netlist::verilog::parse(&text).expect("emitted Verilog parses");
+}
+
+#[test]
+fn invalid_bounds_are_rejected_without_usage_dump() {
+    for bad in ["NaN", "-0.1", "1.5", "oops"] {
+        let out = tdals()
+            .args([
+                "flow",
+                "--input",
+                "bench:Max16",
+                "--metric",
+                "nmed",
+                "--bound",
+                bad,
+            ])
+            .output()
+            .expect("run tdals flow");
+        assert!(!out.status.success(), "bound {bad} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--bound"), "bound {bad}: {err}");
+        assert!(
+            !err.contains("usage:"),
+            "bound {bad} is a semantic error, not a usage error: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_benchmark_is_a_proper_error() {
+    let out = tdals()
+        .args(["report", "--input", "bench:NoSuchCircuit"])
+        .output()
+        .expect("run tdals report");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown benchmark `NoSuchCircuit`"), "{err}");
+    assert!(err.contains("tdals list"), "points at the list: {err}");
+    assert!(!err.contains("usage:"), "no usage dump: {err}");
+}
+
+#[test]
+fn unknown_method_is_a_proper_error() {
+    let out = tdals()
+        .args([
+            "flow",
+            "--input",
+            "bench:Max16",
+            "--metric",
+            "nmed",
+            "--bound",
+            "0.02",
+            "--method",
+            "annealer",
+        ])
+        .output()
+        .expect("run tdals flow");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown method `annealer`"), "{err}");
+}

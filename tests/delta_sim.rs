@@ -168,12 +168,12 @@ fn dcgwo_pareto_front_is_thread_count_invariant() {
         TimingConfig::default(),
         0.8,
     );
-    let cfg = |threads: usize| OptimizerConfig {
-        population: 10,
-        iterations: 6,
-        threads,
-        seed: 21,
-        ..OptimizerConfig::default()
+    let cfg = |threads: usize| {
+        OptimizerConfig::default()
+            .with_population(10)
+            .with_iterations(6)
+            .with_threads(threads)
+            .with_seed(21)
     };
     let serial = optimize(&ctx, 0.05, &cfg(1));
     let parallel = optimize(&ctx, 0.05, &cfg(4));
@@ -213,12 +213,12 @@ fn full_resim_knob_is_behavior_preserving() {
         TimingConfig::default(),
         0.8,
     );
-    let cfg = |every: usize| OptimizerConfig {
-        population: 8,
-        iterations: 5,
-        seed: 33,
-        full_resim_every_n: every,
-        ..OptimizerConfig::default()
+    let cfg = |every: usize| {
+        OptimizerConfig::default()
+            .with_population(8)
+            .with_iterations(5)
+            .with_seed(33)
+            .with_full_resim_every(every)
     };
     let never = optimize(&ctx, 0.06, &cfg(0));
     let often = optimize(&ctx, 0.06, &cfg(1));

@@ -2,26 +2,37 @@
 //! methods on real benchmark circuits, spanning every crate in the
 //! workspace.
 
-use tdals::baselines::{run_method, Method, MethodConfig, ALL_METHODS};
+use tdals::baselines::{Method, MethodConfig, ALL_METHODS};
 use tdals::circuits::Benchmark;
-use tdals::core::{run_flow, EvalContext, FlowConfig};
-use tdals::netlist::verilog;
+use tdals::core::api::{Dcgwo, Flow, FlowOutcome};
+use tdals::core::EvalContext;
+use tdals::netlist::{verilog, Netlist};
 use tdals::sim::{ErrorMetric, Patterns};
 use tdals::sta::{analyze, TimingConfig};
 
-fn quick_flow(metric: ErrorMetric, bound: f64) -> FlowConfig {
-    let mut cfg = FlowConfig::paper_defaults(metric, bound);
-    cfg.vectors = 1024;
-    cfg.optimizer.population = 10;
-    cfg.optimizer.iterations = 6;
-    cfg
+fn quick_dcgwo(metric: ErrorMetric) -> Dcgwo {
+    Dcgwo::paper_for(metric).quick(10, 6)
+}
+
+fn quick_flow(accurate: &Netlist, metric: ErrorMetric, bound: f64, dcgwo: Dcgwo) -> FlowOutcome {
+    Flow::for_netlist(accurate)
+        .metric(metric)
+        .error_bound(bound)
+        .vectors(1024)
+        .optimizer(dcgwo)
+        .run()
+        .expect("valid session")
 }
 
 #[test]
 fn flow_on_arithmetic_benchmark() {
     let accurate = Benchmark::Max16.build();
-    let cfg = quick_flow(ErrorMetric::Nmed, 0.0244);
-    let result = run_flow(&accurate, &cfg);
+    let result = quick_flow(
+        &accurate,
+        ErrorMetric::Nmed,
+        0.0244,
+        quick_dcgwo(ErrorMetric::Nmed),
+    );
 
     assert!(result.error <= 0.0244 + 1e-12, "error {}", result.error);
     assert!(result.ratio_cpd <= 1.0 + 1e-9, "ratio {}", result.ratio_cpd);
@@ -38,11 +49,9 @@ fn flow_on_arithmetic_benchmark() {
 #[test]
 fn flow_on_random_control_benchmark() {
     let accurate = Benchmark::C880.build();
-    let mut cfg = quick_flow(ErrorMetric::ErrorRate, 0.05);
-    cfg.optimizer.population = 12;
-    cfg.optimizer.iterations = 10;
-    cfg.optimizer.seed = 2;
-    let result = run_flow(&accurate, &cfg);
+    let mut dcgwo = Dcgwo::paper_for(ErrorMetric::ErrorRate).quick(12, 10);
+    dcgwo.config_mut().seed = 2;
+    let result = quick_flow(&accurate, ErrorMetric::ErrorRate, 0.05, dcgwo);
 
     assert!(result.error <= 0.05 + 1e-12);
     assert!(result.ratio_cpd <= 1.0 + 1e-9);
@@ -56,8 +65,12 @@ fn flow_on_random_control_benchmark() {
 #[test]
 fn final_netlist_survives_verilog_round_trip() {
     let accurate = Benchmark::Int2float.build();
-    let cfg = quick_flow(ErrorMetric::Nmed, 0.02);
-    let result = run_flow(&accurate, &cfg);
+    let result = quick_flow(
+        &accurate,
+        ErrorMetric::Nmed,
+        0.02,
+        quick_dcgwo(ErrorMetric::Nmed),
+    );
 
     let text = verilog::to_verilog(&result.netlist);
     let reparsed = verilog::parse(&text).expect("emitted Verilog parses");
@@ -86,14 +99,17 @@ fn all_methods_produce_feasible_circuits_on_c880() {
         TimingConfig::default(),
         0.8,
     );
-    let cfg = MethodConfig {
-        population: 8,
-        iterations: 4,
-        level_we: 0.1,
-        seed: 5,
-    };
+    let cfg = MethodConfig::default()
+        .with_population(8)
+        .with_iterations(4)
+        .with_level_we(0.1)
+        .with_seed(5);
     for method in ALL_METHODS {
-        let result = run_method(&ctx, method, 0.05, None, &cfg);
+        let result = Flow::for_context(&ctx)
+            .error_bound(0.05)
+            .optimizer(method.optimizer(&cfg))
+            .run()
+            .expect("valid session");
         assert!(
             result.error <= 0.05 + 1e-12,
             "{method}: error {}",
@@ -124,17 +140,23 @@ fn dcgwo_beats_single_chase_on_timing() {
     );
     // Average over seeds: individual runs are stochastic, the paper's
     // claim is about expected behaviour.
+    let run = |method: Method, cfg: &MethodConfig| {
+        Flow::for_context(&ctx)
+            .error_bound(0.0244)
+            .optimizer(method.optimizer(cfg))
+            .run()
+            .expect("valid session")
+    };
     let mut ours_sum = 0.0;
     let mut gwo_sum = 0.0;
     for seed in [23u64, 24, 25] {
-        let cfg = MethodConfig {
-            population: 24,
-            iterations: 32,
-            level_we: 0.2,
-            seed,
-        };
-        ours_sum += run_method(&ctx, Method::Dcgwo, 0.0244, None, &cfg).ratio_cpd;
-        gwo_sum += run_method(&ctx, Method::SingleChaseGwo, 0.0244, None, &cfg).ratio_cpd;
+        let cfg = MethodConfig::default()
+            .with_population(24)
+            .with_iterations(32)
+            .with_level_we(0.2)
+            .with_seed(seed);
+        ours_sum += run(Method::Dcgwo, &cfg).ratio_cpd;
+        gwo_sum += run(Method::SingleChaseGwo, &cfg).ratio_cpd;
     }
     assert!(
         ours_sum <= gwo_sum + 0.03,
@@ -144,13 +166,12 @@ fn dcgwo_beats_single_chase_on_timing() {
     );
     // Sanity vs the area-driven greedy flow: same ballpark even at this
     // reduced effort (greedy evaluates ~10x more candidate LACs here).
-    let cfg = MethodConfig {
-        population: 24,
-        iterations: 32,
-        level_we: 0.2,
-        seed: 23,
-    };
-    let greedy = run_method(&ctx, Method::VecbeeSasimi, 0.0244, None, &cfg);
+    let cfg = MethodConfig::default()
+        .with_population(24)
+        .with_iterations(32)
+        .with_level_we(0.2)
+        .with_seed(23);
+    let greedy = run(Method::VecbeeSasimi, &cfg);
     assert!(
         ours_sum / 3.0 <= greedy.ratio_cpd + 0.3,
         "ours avg {} vs greedy {}",
@@ -168,12 +189,10 @@ fn tighter_error_budget_never_helps_timing() {
     let mut loose_sum = 0.0;
     let seeds = [1u64, 2, 3, 4, 5, 6];
     for seed in seeds {
-        let mut tight_cfg = quick_flow(ErrorMetric::Nmed, 0.0048);
-        tight_cfg.optimizer.seed = seed;
-        let mut loose_cfg = quick_flow(ErrorMetric::Nmed, 0.0244);
-        loose_cfg.optimizer.seed = seed;
-        tight_sum += run_flow(&accurate, &tight_cfg).ratio_cpd;
-        loose_sum += run_flow(&accurate, &loose_cfg).ratio_cpd;
+        let mut dcgwo = quick_dcgwo(ErrorMetric::Nmed);
+        dcgwo.config_mut().seed = seed;
+        tight_sum += quick_flow(&accurate, ErrorMetric::Nmed, 0.0048, dcgwo.clone()).ratio_cpd;
+        loose_sum += quick_flow(&accurate, ErrorMetric::Nmed, 0.0244, dcgwo).ratio_cpd;
     }
     assert!(
         loose_sum <= tight_sum + 0.15,
@@ -186,18 +205,23 @@ fn tighter_error_budget_never_helps_timing() {
 #[test]
 fn bigger_area_budget_never_hurts_timing() {
     let accurate = Benchmark::Adder16.build();
-    let base = quick_flow(ErrorMetric::Nmed, 0.0244);
     let area_ori = {
         let report = analyze(&accurate, &TimingConfig::default());
         let _ = report;
         accurate.area_live()
     };
-    let mut small = base.clone();
-    small.area_con = Some(area_ori * 0.8);
-    let mut large = base;
-    large.area_con = Some(area_ori * 1.2);
-    let rs = run_flow(&accurate, &small);
-    let rl = run_flow(&accurate, &large);
+    let run_with_area = |area_con: f64| {
+        Flow::for_netlist(&accurate)
+            .metric(ErrorMetric::Nmed)
+            .error_bound(0.0244)
+            .vectors(1024)
+            .area_constraint(area_con)
+            .optimizer(quick_dcgwo(ErrorMetric::Nmed))
+            .run()
+            .expect("valid session")
+    };
+    let rs = run_with_area(area_ori * 0.8);
+    let rl = run_with_area(area_ori * 1.2);
     assert!(
         rl.cpd_fac <= rs.cpd_fac + 1e-9,
         "large-budget {} vs small-budget {}",
@@ -209,11 +233,12 @@ fn bigger_area_budget_never_hurts_timing() {
 #[test]
 fn optimizer_history_is_complete_and_monotone_in_constraint() {
     let accurate = Benchmark::Max16.build();
-    let cfg = quick_flow(ErrorMetric::Nmed, 0.02);
-    let result = run_flow(&accurate, &cfg);
-    assert_eq!(result.optimizer.history.len(), cfg.optimizer.iterations);
+    let dcgwo = quick_dcgwo(ErrorMetric::Nmed);
+    let iterations = dcgwo.config().iterations;
+    let result = quick_flow(&accurate, ErrorMetric::Nmed, 0.02, dcgwo);
+    assert_eq!(result.history().len(), iterations);
     let mut prev = 0.0;
-    for h in &result.optimizer.history {
+    for h in result.history() {
         assert!(h.constraint >= prev);
         prev = h.constraint;
         assert!(h.best_fitness >= 1.0 - 1e-9);

@@ -13,17 +13,26 @@
 //! complete tables and figures; these tests pin down the headline
 //! claims on one benchmark per class.
 
-use tdals::baselines::{run_method, Method, MethodConfig};
+use tdals::baselines::{Method, MethodConfig};
 use tdals::circuits::Benchmark;
+use tdals::core::api::{Flow, FlowOutcome};
+use tdals::core::EvalContext;
 use tdals_bench::{context_for, level_we, Effort, ER_BOUNDS, NMED_BOUNDS};
 
 fn cfg_for(effort: Effort, metric: tdals::sim::ErrorMetric, seed: u64) -> MethodConfig {
-    MethodConfig {
-        population: effort.population(),
-        iterations: effort.iterations(),
-        level_we: level_we(metric),
-        seed,
-    }
+    MethodConfig::default()
+        .with_population(effort.population())
+        .with_iterations(effort.iterations())
+        .with_level_we(level_we(metric))
+        .with_seed(seed)
+}
+
+fn run_method(ctx: &EvalContext, method: Method, bound: f64, cfg: &MethodConfig) -> FlowOutcome {
+    Flow::for_context(ctx)
+        .error_bound(bound)
+        .optimizer(method.optimizer(cfg))
+        .run()
+        .expect("valid session")
 }
 
 #[test]
@@ -32,13 +41,7 @@ fn dcgwo_meets_every_nmed_bound_on_max16() {
     let effort = Effort::from_env();
     let (ctx, metric) = context_for(Benchmark::Max16, effort);
     for bound in NMED_BOUNDS {
-        let result = run_method(
-            &ctx,
-            Method::Dcgwo,
-            bound,
-            None,
-            &cfg_for(effort, metric, 1),
-        );
+        let result = run_method(&ctx, Method::Dcgwo, bound, &cfg_for(effort, metric, 1));
         assert!(
             result.error <= bound + 1e-12,
             "NMED {} exceeds bound {bound}",
@@ -58,13 +61,7 @@ fn dcgwo_meets_every_er_bound_on_c880() {
     let effort = Effort::from_env();
     let (ctx, metric) = context_for(Benchmark::C880, effort);
     for bound in ER_BOUNDS {
-        let result = run_method(
-            &ctx,
-            Method::Dcgwo,
-            bound,
-            None,
-            &cfg_for(effort, metric, 1),
-        );
+        let result = run_method(&ctx, Method::Dcgwo, bound, &cfg_for(effort, metric, 1));
         assert!(
             result.error <= bound + 1e-12,
             "ER {} exceeds bound {bound}",
@@ -73,7 +70,7 @@ fn dcgwo_meets_every_er_bound_on_c880() {
         assert!(result.ratio_cpd <= 1.0 + 1e-9);
     }
     // At the loosest budget a 5% error rate must buy real delay.
-    let result = run_method(&ctx, Method::Dcgwo, 0.05, None, &cfg_for(effort, metric, 1));
+    let result = run_method(&ctx, Method::Dcgwo, 0.05, &cfg_for(effort, metric, 1));
     assert!(
         result.ratio_cpd < 1.0,
         "5% ER bought no delay reduction (ratio {})",
@@ -100,8 +97,8 @@ fn dcgwo_tracks_single_chase_across_the_suite_subset() {
         };
         for seed in seeds {
             let cfg = cfg_for(effort, metric, seed);
-            ours += run_method(&ctx, Method::Dcgwo, bound, None, &cfg).ratio_cpd;
-            gwo += run_method(&ctx, Method::SingleChaseGwo, bound, None, &cfg).ratio_cpd;
+            ours += run_method(&ctx, Method::Dcgwo, bound, &cfg).ratio_cpd;
+            gwo += run_method(&ctx, Method::SingleChaseGwo, bound, &cfg).ratio_cpd;
         }
     }
     let n = (benches.len() * seeds.len()) as f64;

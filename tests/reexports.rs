@@ -4,8 +4,12 @@
 //! Everything here goes through `tdals::…` paths only — no direct
 //! `tdals_*` crate imports — so a broken re-export is a compile error.
 
-use tdals::baselines::{Method, MethodConfig, ALL_METHODS};
+use tdals::baselines::{Genetic, Greedy, Hedals, Method, MethodConfig, ALL_METHODS};
 use tdals::circuits::{Benchmark, CircuitClass, ALL_BENCHMARKS};
+use tdals::core::api::{
+    Budget, CancelFlag, Dcgwo, Flow, FlowError, FlowEvent, FlowOutcome, NopObserver, Observer,
+    OptimizeOutcome, Optimizer, StopReason,
+};
 use tdals::core::{ChaseStrategy, EvalContext, FlowConfig, OptimizerConfig, PostOptConfig};
 use tdals::netlist::builder::Builder;
 use tdals::netlist::cell::{Cell, CellFunc, Drive};
@@ -82,25 +86,102 @@ fn core_surface_resolves() {
 #[test]
 fn baselines_surface_resolves() {
     assert!(ALL_METHODS.contains(&Method::Dcgwo));
-    let cfg = MethodConfig {
-        population: 4,
-        iterations: 2,
-        level_we: 0.2,
-        seed: 1,
-    };
+    let cfg = MethodConfig::default()
+        .with_population(4)
+        .with_iterations(2)
+        .with_level_we(0.2)
+        .with_seed(1);
     assert_eq!(cfg.population, 4);
+
+    // The baseline Optimizer adapters are reachable through the
+    // umbrella and usable as trait objects.
+    let adapters: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(Greedy::default()),
+        Box::new(Genetic::default()),
+        Box::new(Hedals::default()),
+        Method::Vaacs.optimizer(&cfg),
+    ];
+    assert_eq!(adapters.len(), 4);
 }
 
 #[test]
-fn quickstart_types_compose_across_reexports() {
-    // The crate-docs quickstart in miniature: umbrella paths from every
-    // module cooperating in one flow invocation.
+fn api_surface_resolves() {
+    // Session API types reachable through the umbrella.
+    let budget: Budget = Budget::unlimited()
+        .with_max_iterations(3)
+        .with_max_evaluations(1000);
+    let flag: CancelFlag = budget.cancel_flag();
+    assert!(!flag.is_cancelled());
+    assert_eq!(budget.max_iterations(), Some(3));
+
+    let mut obs: NopObserver = NopObserver;
+    obs.on_event(&FlowEvent::PostOptStarted { area_con: 1.0 });
+    let _stop: StopReason = StopReason::Completed;
+    let _err: FlowError = FlowError::MissingErrorBound;
+
+    let mut dcgwo: Dcgwo = Dcgwo::paper_for(ErrorMetric::Nmed).quick(4, 2);
+    assert_eq!(Optimizer::name(&dcgwo), "DCGWO");
+    assert_eq!(Dcgwo::single_chase().name(), "GWO");
+
+    let accurate = Benchmark::Int2float.build();
+    let ctx = EvalContext::new(
+        &accurate,
+        Patterns::random(accurate.input_count(), 256, 4),
+        ErrorMetric::Nmed,
+        TimingConfig::default(),
+        0.8,
+    );
+    let outcome: OptimizeOutcome = dcgwo.optimize(&ctx, 0.02, &budget, &mut obs);
+    assert!(outcome.best.error <= 0.02 + 1e-12);
+
+    let session: FlowOutcome = Flow::for_context(&ctx)
+        .error_bound(0.02)
+        .optimizer(dcgwo)
+        .run()
+        .expect("valid session");
+    assert!(session.ratio_cpd <= 1.0 + 1e-9);
+}
+
+#[test]
+fn deprecated_shims_still_resolve() {
+    // The pre-session entry points must keep compiling until removal.
     let accurate = Benchmark::Int2float.build();
     let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.02);
     cfg.vectors = 256;
     cfg.optimizer.population = 4;
     cfg.optimizer.iterations = 2;
+    #[allow(deprecated)]
     let result = tdals::core::run_flow(&accurate, &cfg);
+    assert!(result.error <= 0.02 + 1e-12);
+
+    let ctx = EvalContext::new(
+        &accurate,
+        Patterns::random(accurate.input_count(), 256, 4),
+        ErrorMetric::Nmed,
+        TimingConfig::default(),
+        0.8,
+    );
+    let mcfg = MethodConfig::default()
+        .with_population(4)
+        .with_iterations(2)
+        .with_level_we(0.2);
+    #[allow(deprecated)]
+    let result = tdals::baselines::run_method(&ctx, Method::Hedals, 0.02, None, &mcfg);
+    assert!(result.error <= 0.02 + 1e-12);
+}
+
+#[test]
+fn quickstart_types_compose_across_reexports() {
+    // The crate-docs quickstart in miniature: umbrella paths from every
+    // module cooperating in one session invocation.
+    let accurate = Benchmark::Int2float.build();
+    let result = Flow::for_netlist(&accurate)
+        .metric(ErrorMetric::Nmed)
+        .error_bound(0.02)
+        .vectors(256)
+        .optimizer(Dcgwo::paper_for(ErrorMetric::Nmed).quick(4, 2))
+        .run()
+        .expect("valid session");
     assert!(result.error <= 0.02 + 1e-12);
     assert!(result.ratio_cpd <= 1.0 + 1e-9);
     result.netlist.check_invariants().expect("valid result");

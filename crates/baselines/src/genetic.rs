@@ -10,7 +10,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tdals_core::api::{Budget, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason};
-use tdals_core::{random_lac, reproduce, Candidate, EvalContext, IterationStats, LevelWeights};
+use tdals_core::{
+    par, random_lac, reproduce, Candidate, EvalContext, IterationStats, Lac, LevelWeights,
+};
 use tdals_netlist::Netlist;
 
 /// Tunables for [`genetic_depth`].
@@ -32,6 +34,10 @@ pub struct GeneticConfig {
     pub level_we: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for child evaluation; `1` evaluates inline, `0`
+    /// means one worker per available core. Results are bit-identical
+    /// for any thread count (see [`tdals_core::par`]).
+    pub threads: usize,
 }
 
 impl Default for GeneticConfig {
@@ -45,6 +51,7 @@ impl Default for GeneticConfig {
             max_switch_candidates: 48,
             level_we: 0.1,
             seed: 0x6A6A,
+            threads: 1,
         }
     }
 }
@@ -86,6 +93,7 @@ pub fn genetic_depth_session(
     let mut stop = StopReason::Completed;
     let mut history = Vec::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let threads = par::resolve_threads(cfg.threads);
     let weights = LevelWeights::paper_defaults(ctx.cpd_ori(), cfg.level_we);
 
     let accurate = ctx.evaluate(ctx.accurate().clone());
@@ -94,19 +102,57 @@ pub fn genetic_depth_session(
     let mut best_fit = ga_fitness(ctx, &best, error_bound);
 
     let mut population: Vec<Candidate> = vec![accurate.clone()];
-    while population.len() < cfg.population.max(2) {
-        // Honor the budget during seeding as well; the accurate anchor
-        // is already in, so stopping early is always safe.
-        if tracker.stop_before_iteration(0).is_some() {
-            break;
+    // Deterministic pre-truncation: never fan out work a deterministic
+    // cap will refuse to admit — a pre-stopped budget seeds nothing, an
+    // evaluation cap bounds the member count, and both depend only on
+    // counts, so the truncation is identical for every thread width.
+    let seed_budget = match tracker.stop_before_iteration(0) {
+        Some(_) => 0,
+        None => tracker
+            .remaining_evaluations()
+            .map_or(usize::MAX, |n| usize::try_from(n).unwrap_or(usize::MAX)),
+    };
+    let seed_want = (cfg.population.max(2) - 1).min(seed_budget);
+    if seed_want > 0 {
+        // Serial draft phase: every seed member mutates the *same*
+        // accurate netlist, so one simulation serves all draws and the
+        // shared RNG stream is consumed in member order, independent of
+        // thread count.
+        let accurate_sim = ctx.simulate(&accurate.netlist);
+        let seed_drafts: Vec<Option<Lac>> = (0..seed_want)
+            .map(|_| {
+                random_lac(
+                    &accurate.netlist,
+                    &accurate_sim,
+                    cfg.max_switch_candidates,
+                    &mut rng,
+                )
+            })
+            .collect();
+        // Parallel evaluation, then serial admission in member order:
+        // the budget is honored during seeding as well — deterministic
+        // caps stop admission at the same member for every thread
+        // count, and the accurate anchor is already in, so stopping
+        // early is always safe.
+        let seeded = par::par_map_batched(
+            threads,
+            seed_drafts,
+            |lac| {
+                let mut netlist = accurate.netlist.clone();
+                if let Some(lac) = lac {
+                    lac.apply(&mut netlist).expect("legal LAC");
+                }
+                ctx.evaluate(netlist)
+            },
+            || tracker.interrupted().is_none(),
+        );
+        for cand in seeded.results {
+            if tracker.stop_before_iteration(0).is_some() {
+                break;
+            }
+            population.push(cand);
+            tracker.record_evaluations(1);
         }
-        let mut netlist = accurate.netlist.clone();
-        let sim = ctx.simulate(&netlist);
-        if let Some(lac) = random_lac(&netlist, &sim, cfg.max_switch_candidates, &mut rng) {
-            lac.apply(&mut netlist).expect("legal LAC");
-        }
-        population.push(ctx.evaluate(netlist));
-        tracker.record_evaluations(1);
     }
 
     for generation in 0..cfg.generations {
@@ -156,23 +202,65 @@ pub fn genetic_depth_session(
             .map(|&i| population[i].clone())
             .collect();
 
-        while next.len() < cfg.population.max(2) {
-            let pa = tournament_pick(&mut rng);
-            let pb = tournament_pick(&mut rng);
-            let mut child = if pa == pb {
-                population[pa].netlist.clone()
-            } else {
-                reproduce(&population[pa], &population[pb], &weights)
-            };
-            if rng.gen::<f64>() < cfg.mutation_rate {
-                let sim = ctx.simulate(&child);
-                if let Some(lac) = random_lac(&child, &sim, cfg.max_switch_candidates, &mut rng) {
-                    lac.apply(&mut child).expect("legal LAC");
-                }
-            }
-            next.push(ctx.evaluate(child));
-            tracker.record_evaluations(1);
+        // Serial plan phase: tournament picks and mutation coins come
+        // off the shared stream in child order. A mutating child gets a
+        // private stream split off the shared one, because its LAC draw
+        // reads the child's own simulation — which only exists inside
+        // the worker that builds it.
+        struct ChildPlan {
+            pa: usize,
+            pb: usize,
+            mutation_seed: Option<u64>,
         }
+        let want = cfg.population.max(2).saturating_sub(next.len());
+        let plans: Vec<ChildPlan> = (0..want)
+            .map(|_| {
+                let pa = tournament_pick(&mut rng);
+                let pb = tournament_pick(&mut rng);
+                let mutation_seed =
+                    (rng.gen::<f64>() < cfg.mutation_rate).then(|| rng.gen::<u64>());
+                ChildPlan {
+                    pa,
+                    pb,
+                    mutation_seed,
+                }
+            })
+            .collect();
+        // Parallel build-and-evaluate phase (crossover, optional
+        // mutation, full evaluation), reduced in child order.
+        let population_ref = &population;
+        let children = par::par_map_batched(
+            threads,
+            plans,
+            |plan| {
+                let mut child = if plan.pa == plan.pb {
+                    population_ref[plan.pa].netlist.clone()
+                } else {
+                    reproduce(&population_ref[plan.pa], &population_ref[plan.pb], &weights)
+                };
+                if let Some(seed) = plan.mutation_seed {
+                    let mut crng = StdRng::seed_from_u64(seed);
+                    let sim = ctx.simulate(&child);
+                    if let Some(lac) =
+                        random_lac(&child, &sim, cfg.max_switch_candidates, &mut crng)
+                    {
+                        lac.apply(&mut child).expect("legal LAC");
+                    }
+                }
+                ctx.evaluate(child)
+            },
+            || tracker.interrupted().is_none(),
+        );
+        tracker.record_evaluations(children.results.len() as u64);
+        if !children.completed {
+            // The previous generation survives; the partial next
+            // generation is discarded (its evaluations are recorded).
+            stop = tracker
+                .interrupted()
+                .expect("aborted batches imply a sticky interrupt");
+            break;
+        }
+        next.extend(children.results);
         population = next;
 
         let feasible = population.iter().filter(|c| c.error <= error_bound).count();
@@ -283,5 +371,35 @@ mod tests {
         let a = genetic_depth(&ctx, 0.03, &quick_cfg());
         let b = genetic_depth(&ctx, 0.03, &quick_cfg());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pre_stopped_budget_pays_no_seeding_work() {
+        // Seeding truncates to the budget before fanning out: an
+        // exhausted budget evaluates only the accurate anchor, a tiny
+        // evaluation cap exactly as many members as it admits.
+        use tdals_core::api::{Budget, NopObserver, StopReason};
+        let ctx = ctx();
+        let outcome = genetic_depth_session(
+            &ctx,
+            0.03,
+            &quick_cfg(),
+            &Budget::unlimited().with_max_iterations(0),
+            &mut NopObserver,
+        );
+        assert_eq!(outcome.stop, StopReason::IterationLimit);
+        assert_eq!(outcome.evaluations, 1, "accurate anchor only");
+        assert_eq!(outcome.population.len(), 1);
+
+        let outcome = genetic_depth_session(
+            &ctx,
+            0.03,
+            &quick_cfg(),
+            &Budget::unlimited().with_max_evaluations(3),
+            &mut NopObserver,
+        );
+        assert_eq!(outcome.stop, StopReason::EvaluationLimit);
+        assert_eq!(outcome.evaluations, 3, "anchor + two capped members");
+        assert_eq!(outcome.population.len(), 3);
     }
 }

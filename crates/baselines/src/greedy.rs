@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tdals_core::api::{Budget, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason};
-use tdals_core::{select_switch, EvalContext};
+use tdals_core::{par, select_switch, EvalContext, Lac};
 use tdals_netlist::{GateId, Netlist, SignalRef};
 
 use crate::round_stats;
@@ -33,6 +33,10 @@ pub struct GreedyConfig {
     pub min_similarity: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for candidate evaluation; `1` evaluates inline,
+    /// `0` means one worker per available core. Results are
+    /// bit-identical for any thread count (see [`tdals_core::par`]).
+    pub threads: usize,
 }
 
 impl Default for GreedyConfig {
@@ -43,6 +47,7 @@ impl Default for GreedyConfig {
             max_switch_candidates: usize::MAX,
             min_similarity: 0.0,
             seed: 0x5A51,
+            threads: 1,
         }
     }
 }
@@ -84,6 +89,7 @@ pub fn greedy_area_session(
     let mut stop = StopReason::Completed;
     let mut history = Vec::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let threads = par::resolve_threads(cfg.threads);
     let mut netlist = ctx.accurate().clone();
     let mut current_error = 0.0f64;
     let mut current_area = netlist.area_live();
@@ -108,8 +114,11 @@ pub fn greedy_area_session(
             break;
         }
 
-        let mut best: Option<(Netlist, f64, f64, f64)> = None; // (netlist, err, area, score)
-        let mut feasible = 0usize;
+        // Serial draft phase: target sampling and switch selection draw
+        // from the round's shared RNG stream in the exact order the
+        // sequential loop used — nothing here depends on a candidate's
+        // evaluation, so the stream is thread-count-independent.
+        let mut drafts: Vec<Lac> = Vec::with_capacity(cfg.candidates_per_round);
         for _ in 0..cfg.candidates_per_round {
             let target = targets[rng.gen_range(0..targets.len())];
             let Some(lac) =
@@ -121,10 +130,29 @@ pub fn greedy_area_session(
             if similarity < cfg.min_similarity {
                 continue;
             }
-            let mut trial = netlist.clone();
-            lac.apply(&mut trial).expect("legal LAC");
-            let err = ctx.evaluator().error_of(&trial);
-            tracker.record_evaluations(1);
+            drafts.push(lac);
+        }
+
+        // Parallel evaluation phase: each worker owns its trial clone;
+        // the pool returns (trial, error) pairs in draft order.
+        let evaluated = par::par_map_batched(
+            threads,
+            drafts,
+            |lac| {
+                let mut trial = netlist.clone();
+                lac.apply(&mut trial).expect("legal LAC");
+                let err = ctx.evaluator().error_of(&trial);
+                (trial, err)
+            },
+            || tracker.interrupted().is_none(),
+        );
+        tracker.record_evaluations(evaluated.results.len() as u64);
+
+        // Serial reduction in draft order: identical best-candidate
+        // choice for every thread count.
+        let mut best: Option<(Netlist, f64, f64, f64)> = None; // (netlist, err, area, score)
+        let mut feasible = 0usize;
+        for (trial, err) in evaluated.results {
             if err > error_bound {
                 continue;
             }
@@ -141,6 +169,12 @@ pub fn greedy_area_session(
             if best.as_ref().is_none_or(|(_, _, _, s)| score > *s) {
                 best = Some((trial, err, area, score));
             }
+        }
+        if !evaluated.completed {
+            stop = tracker
+                .interrupted()
+                .expect("aborted batches imply a sticky interrupt");
+            break;
         }
         let Some((next, err, area, _)) = best else {
             break;

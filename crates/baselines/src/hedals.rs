@@ -24,7 +24,7 @@ use std::collections::HashSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tdals_core::api::{Budget, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason};
-use tdals_core::{collect_targets, select_switch, EvalContext};
+use tdals_core::{collect_targets, par, select_switch, EvalContext, Lac};
 use tdals_netlist::{GateId, Netlist, SignalRef};
 use tdals_sim::{ErrorEvaluator, Patterns};
 
@@ -41,6 +41,10 @@ pub struct HedalsConfig {
     pub max_switch_candidates: usize,
     /// RNG seed (used for fan-in sampling in the target set).
     pub seed: u64,
+    /// Worker threads for candidate scoring; `1` evaluates inline, `0`
+    /// means one worker per available core. Results are bit-identical
+    /// for any thread count (see [`tdals_core::par`]).
+    pub threads: usize,
 }
 
 impl Default for HedalsConfig {
@@ -50,6 +54,7 @@ impl Default for HedalsConfig {
             max_rounds: 200,
             max_switch_candidates: usize::MAX,
             seed: 0x4EDA,
+            threads: 1,
         }
     }
 }
@@ -87,6 +92,7 @@ pub fn depth_driven_session(
     let mut stop = StopReason::Completed;
     let mut history = Vec::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let threads = par::resolve_threads(cfg.threads);
     let mut netlist = ctx.accurate().clone();
     let mut blacklist: HashSet<(GateId, SignalRef)> = HashSet::new();
 
@@ -130,7 +136,10 @@ pub fn depth_driven_session(
             /// the committed round's stats need no re-analysis.
             depth: u32,
         }
-        let mut scored: Vec<Scored> = Vec::new();
+        // Serial draft phase: switch selection draws from the round's
+        // shared RNG stream in target order, exactly as the sequential
+        // loop did (no draw depends on a candidate's evaluation).
+        let mut drafts: Vec<Lac> = Vec::new();
         for target in targets {
             let Some(lac) =
                 select_switch(&netlist, &sim, target, cfg.max_switch_candidates, &mut rng)
@@ -140,28 +149,50 @@ pub fn depth_driven_session(
             if blacklist.contains(&(lac.target(), lac.switch())) {
                 continue;
             }
-            let mut trial = netlist.clone();
-            lac.apply(&mut trial).expect("legal LAC");
-            // Probe-resolution error estimate for ranking.
-            let est_err = probe.error_of(&trial);
-            tracker.record_evaluations(1);
-            if est_err > error_bound {
-                continue;
-            }
-            let trial_report = ctx.analyze(&trial);
-            let depth_gain = f64::from(depth_now) - f64::from(trial_report.max_depth());
-            let cpd_gain = cpd_now - trial_report.critical_path_delay();
-            if depth_gain <= 0.0 && cpd_gain <= 0.0 {
-                continue;
-            }
-            let score = (depth_gain * 1e3 + cpd_gain) / est_err.max(1e-6);
-            scored.push(Scored {
-                target: lac.target(),
-                switch: lac.switch(),
-                score,
-                depth: trial_report.max_depth(),
-            });
+            drafts.push(lac);
         }
+        // Parallel scoring phase: each worker owns its trial clone and
+        // pays the probe-resolution error estimate plus — for estimate-
+        // feasible candidates — the scoring STA. Results come back in
+        // draft order.
+        let evaluated = par::par_map_batched(
+            threads,
+            drafts,
+            |lac| -> Option<Scored> {
+                let mut trial = netlist.clone();
+                lac.apply(&mut trial).expect("legal LAC");
+                // Probe-resolution error estimate for ranking.
+                let est_err = probe.error_of(&trial);
+                if est_err > error_bound {
+                    return None;
+                }
+                let trial_report = ctx.analyze(&trial);
+                let depth_gain = f64::from(depth_now) - f64::from(trial_report.max_depth());
+                let cpd_gain = cpd_now - trial_report.critical_path_delay();
+                if depth_gain <= 0.0 && cpd_gain <= 0.0 {
+                    return None;
+                }
+                let score = (depth_gain * 1e3 + cpd_gain) / est_err.max(1e-6);
+                Some(Scored {
+                    target: lac.target(),
+                    switch: lac.switch(),
+                    score,
+                    depth: trial_report.max_depth(),
+                })
+            },
+            || tracker.interrupted().is_none(),
+        );
+        tracker.record_evaluations(evaluated.results.len() as u64);
+        let completed = evaluated.completed;
+        let mut scored: Vec<Scored> = evaluated.results.into_iter().flatten().collect();
+        if !completed {
+            stop = tracker
+                .interrupted()
+                .expect("aborted batches imply a sticky interrupt");
+            break;
+        }
+        // Stable sort: tied scores keep draft order, so the ranking is
+        // identical for every thread count.
         scored.sort_by(|a, b| b.score.total_cmp(&a.score));
 
         // Commit the best candidate that survives exact validation.

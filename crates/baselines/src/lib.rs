@@ -121,6 +121,7 @@ impl Method {
                 candidates_per_round: cfg.population.max(8),
                 max_rounds: cfg.iterations * 10,
                 seed: cfg.seed,
+                threads: cfg.threads,
                 ..GreedyConfig::default()
             })),
             Method::Vaacs => Box::new(Genetic::new(GeneticConfig {
@@ -128,11 +129,13 @@ impl Method {
                 generations: cfg.iterations,
                 level_we: cfg.level_we,
                 seed: cfg.seed,
+                threads: cfg.threads,
                 ..GeneticConfig::default()
             })),
             Method::Hedals => Box::new(Hedals::new(HedalsConfig {
                 max_rounds: cfg.iterations * 10,
                 seed: cfg.seed,
+                threads: cfg.threads,
                 ..HedalsConfig::default()
             })),
             Method::SingleChaseGwo | Method::Dcgwo => Box::new(Dcgwo::new(
@@ -141,6 +144,7 @@ impl Method {
                     .with_iterations(cfg.iterations)
                     .with_level_we(cfg.level_we)
                     .with_seed(cfg.seed)
+                    .with_threads(cfg.threads)
                     .with_chase(if self == Method::Dcgwo {
                         ChaseStrategy::DoubleChase
                     } else {
@@ -170,6 +174,11 @@ pub struct MethodConfig {
     pub level_we: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for candidate evaluation; `1` evaluates inline,
+    /// `0` means one worker per available core. Every method returns
+    /// bit-identical results for any thread count (see
+    /// [`tdals_core::par`]).
+    pub threads: usize,
 }
 
 impl Default for MethodConfig {
@@ -179,6 +188,7 @@ impl Default for MethodConfig {
             iterations: 20,
             level_we: 0.1,
             seed: 1,
+            threads: 1,
         }
     }
 }
@@ -205,6 +215,13 @@ impl MethodConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> MethodConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for candidate evaluation (`0` means
+    /// one worker per available core).
+    pub fn with_threads(mut self, threads: usize) -> MethodConfig {
+        self.threads = threads;
         self
     }
 }

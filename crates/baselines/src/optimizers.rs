@@ -36,6 +36,10 @@ impl Greedy {
 }
 
 impl Optimizer for Greedy {
+    fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads;
+    }
+
     fn name(&self) -> &str {
         "VECBEE-S"
     }
@@ -75,6 +79,10 @@ impl Genetic {
 }
 
 impl Optimizer for Genetic {
+    fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads;
+    }
+
     fn name(&self) -> &str {
         "VaACS"
     }
@@ -114,6 +122,10 @@ impl Hedals {
 }
 
 impl Optimizer for Hedals {
+    fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads;
+    }
+
     fn name(&self) -> &str {
         "HEDALS"
     }

@@ -196,7 +196,15 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
             loop {
                 skip_ws(bytes, pos);
+                let key_at = *pos;
                 let key = parse_string(bytes, pos)?;
+                // RFC 8259 leaves duplicate-key behavior undefined; for
+                // a benchmark baseline that feeds a CI gate, a duplicate
+                // silently shadowing a metric is exactly the kind of rot
+                // the gate exists to catch — reject it outright.
+                if members.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate key `{key}` at byte {key_at}"));
+                }
                 skip_ws(bytes, pos);
                 expect(bytes, pos, ":")?;
                 let value = parse_value(bytes, pos)?;

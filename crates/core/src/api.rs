@@ -286,9 +286,26 @@ impl BudgetTracker {
         self.evaluations
     }
 
-    /// Whether the run may proceed into 0-based iteration `iteration`;
-    /// `Some(reason)` means stop now and return the best so far.
-    pub fn stop_before_iteration(&self, iteration: usize) -> Option<StopReason> {
+    /// Evaluations left before the [`Budget::with_max_evaluations`] cap
+    /// trips; `None` means uncapped. Parallel phases consult this
+    /// *before* fanning out, so a tiny budget bounds the work actually
+    /// performed — not just the results admitted — and the bound is a
+    /// pure function of counts, identical for every thread width.
+    pub fn remaining_evaluations(&self) -> Option<u64> {
+        self.max_evaluations
+            .map(|cap| cap.saturating_sub(self.evaluations))
+    }
+
+    /// Bounded-latency interrupt check: cancellation and the wall-clock
+    /// deadline only — the stop conditions that may fire *between
+    /// per-worker candidate batches*, mid-iteration.
+    ///
+    /// The deterministic caps (iterations, evaluations) are deliberately
+    /// excluded: batch boundaries depend on the thread count, and tying
+    /// a deterministic cap to them would break the bit-identical
+    /// parallel/sequential equivalence that [`crate::par`] guarantees.
+    /// Those caps are enforced in each loop's serial reduction instead.
+    pub fn interrupted(&self) -> Option<StopReason> {
         if self.cancel.is_cancelled() {
             return Some(StopReason::Cancelled);
         }
@@ -296,6 +313,15 @@ impl BudgetTracker {
             if Instant::now() >= deadline {
                 return Some(StopReason::DeadlineExpired);
             }
+        }
+        None
+    }
+
+    /// Whether the run may proceed into 0-based iteration `iteration`;
+    /// `Some(reason)` means stop now and return the best so far.
+    pub fn stop_before_iteration(&self, iteration: usize) -> Option<StopReason> {
+        if let Some(reason) = self.interrupted() {
+            return Some(reason);
         }
         if let Some(cap) = self.max_evaluations {
             if self.evaluations >= cap {
@@ -478,6 +504,15 @@ pub trait Optimizer {
     /// Short human-readable method name (used in reports and events).
     fn name(&self) -> &str;
 
+    /// Sets the worker-thread count for candidate evaluation (see
+    /// [`crate::par`]); `0` means one worker per available core.
+    ///
+    /// Implementations that fan candidate scoring out over the
+    /// deterministic pool honor this knob; the result must be
+    /// bit-identical for every thread count. The default is a no-op so
+    /// optimizers without a parallel phase remain valid.
+    fn set_threads(&mut self, _threads: usize) {}
+
     /// Runs the search on the accurate circuit held by `ctx` under
     /// `error_bound`, honoring `budget` (checked at least once per
     /// iteration) and streaming progress to `obs`.
@@ -496,6 +531,10 @@ pub trait Optimizer {
 impl<T: Optimizer + ?Sized> Optimizer for Box<T> {
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        (**self).set_threads(threads);
     }
 
     fn optimize(
@@ -571,6 +610,10 @@ impl Optimizer for Dcgwo {
         }
     }
 
+    fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads;
+    }
+
     fn optimize(
         &mut self,
         ctx: &EvalContext,
@@ -622,6 +665,7 @@ pub struct Flow<'a> {
     timing: TimingConfig,
     area_con: Option<f64>,
     budget: Budget,
+    threads: Option<usize>,
     optimizer: Box<dyn Optimizer + 'a>,
     observer: Box<dyn Observer + 'a>,
 }
@@ -678,6 +722,7 @@ impl<'a> Flow<'a> {
             timing: TimingConfig::default(),
             area_con: None,
             budget: Budget::unlimited(),
+            threads: None,
             optimizer: Box::new(Dcgwo::paper()),
             observer: Box::new(NopObserver),
         }
@@ -761,6 +806,19 @@ impl<'a> Flow<'a> {
         self
     }
 
+    /// Worker threads for candidate evaluation: fans the optimizer's
+    /// scoring phases out over the deterministic pool ([`crate::par`]).
+    /// `0` means one worker per available core. The [`FlowOutcome`] is
+    /// bit-identical for every thread count; event emission stays
+    /// single-threaded and monotone.
+    ///
+    /// Default: whatever the optimizer's own configuration says (the
+    /// stock configurations evaluate inline on one thread).
+    pub fn threads(mut self, threads: usize) -> Flow<'a> {
+        self.threads = Some(threads);
+        self
+    }
+
     /// The optimizer to run. Default: [`Dcgwo::paper`].
     pub fn optimizer(mut self, optimizer: impl Optimizer + 'a) -> Flow<'a> {
         self.optimizer = Box::new(optimizer);
@@ -800,9 +858,13 @@ impl<'a> Flow<'a> {
             timing,
             area_con,
             budget,
+            threads,
             mut optimizer,
             mut observer,
         } = self;
+        if let Some(threads) = threads {
+            optimizer.set_threads(threads);
+        }
         let start = Instant::now();
         let bound = error_bound.ok_or(FlowError::MissingErrorBound)?;
         if !(0.0..=1.0).contains(&bound) {

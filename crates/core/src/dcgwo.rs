@@ -16,9 +16,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tdals_sim::DeltaSim;
 
-use crate::api::{Budget, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason};
+use crate::api::{
+    Budget, BudgetTracker, FlowEvent, NopObserver, Observer, OptimizeOutcome, StopReason,
+};
 use crate::fitness::{Candidate, DeltaEval, EvalContext, LacScore};
 use crate::lac::Lac;
+use crate::par;
 use crate::pareto::{select, Objectives};
 use crate::reproduce::{reproduce, LevelWeights};
 use crate::schedule::ErrorSchedule;
@@ -67,9 +70,10 @@ pub struct OptimizerConfig {
     pub chase: ChaseStrategy,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
-    /// Worker threads for offspring evaluation (the paper exploits "the
-    /// inherent parallelism of GWO"); `1` evaluates inline. Results are
-    /// identical for any thread count.
+    /// Worker threads for seeding and offspring evaluation (the paper
+    /// exploits "the inherent parallelism of GWO"); `1` evaluates
+    /// inline, `0` means one worker per available core. Results are
+    /// bit-identical for any thread count (see [`crate::par`]).
     pub threads: usize,
     /// Enables the circuit-reproduction action (ablation knob; with it
     /// off, every action is circuit searching).
@@ -311,31 +315,63 @@ pub fn optimize_session(
     .with_full_resim_every(cfg.full_resim_every_n);
     let accurate = ctx.evaluate_delta(&base_delta);
     tracker.record_evaluations(1);
+    let threads = par::resolve_threads(cfg.threads);
     let mut population: Vec<Candidate> = Vec::with_capacity(cfg.population);
     let mut best = accurate.clone();
     population.push(accurate.clone());
-    while population.len() < cfg.population {
-        // The seeding phase honors the budget too: a pre-expired
-        // deadline or raised cancel flag must not pay population-many
-        // evaluations before the first loop-top verdict. The accurate
-        // anchor is already in, so stopping here is always safe.
+    // Seed the rest of the population over the worker pool. Each member
+    // owns a DeltaSim scratch clone of the shared base and an RNG
+    // stream split off the run seed by member index, so its LAC chain —
+    // whose switch selection reads the member's own evolving simulation
+    // state — draws the same switches whether it is built inline or on
+    // any worker. The admission loop below runs serially in member
+    // order: the deterministic budget caps stop admission at the same
+    // member for every thread count (the seeding phase must not pay
+    // population-many evaluations past a tiny evaluation budget), while
+    // cancellation and the deadline abort the fan-out between batches.
+    // The accurate anchor is already in, so stopping early is always
+    // safe.
+    // Deterministic pre-truncation: never fan out work a deterministic
+    // cap will refuse to admit. A pre-stopped budget (iteration cap 0,
+    // exhausted evaluations, pre-raised flag) seeds nothing; an
+    // evaluation cap bounds the member count. Both depend only on
+    // counts, so the truncation is identical for every thread width.
+    let seed_budget = match tracker.stop_before_iteration(0) {
+        Some(_) => 0,
+        None => tracker
+            .remaining_evaluations()
+            .map_or(usize::MAX, |n| usize::try_from(n).unwrap_or(usize::MAX)),
+    };
+    let member_seeds: Vec<u64> = (1..cfg.population)
+        .map(|i| par::split_seed(cfg.seed, i as u64))
+        .take(seed_budget)
+        .collect();
+    let seeded = par::par_map_batched(
+        threads,
+        member_seeds,
+        |member_seed| {
+            let mut rng = StdRng::seed_from_u64(member_seed);
+            let mut member = base_delta.clone();
+            for _ in 0..cfg.initial_lacs.max(1) {
+                if let Some(lac) = crate::lac::random_lac(
+                    member.netlist(),
+                    &member,
+                    cfg.search.max_switch_candidates,
+                    &mut rng,
+                ) {
+                    member
+                        .substitute(lac.target(), lac.switch())
+                        .expect("legal LAC");
+                }
+            }
+            ctx.evaluate_delta(&member)
+        },
+        || tracker.interrupted().is_none(),
+    );
+    for cand in seeded.results {
         if tracker.stop_before_iteration(0).is_some() {
             break;
         }
-        let mut member = base_delta.clone();
-        for _ in 0..cfg.initial_lacs.max(1) {
-            if let Some(lac) = crate::lac::random_lac(
-                member.netlist(),
-                &member,
-                cfg.search.max_switch_candidates,
-                &mut rng,
-            ) {
-                member
-                    .substitute(lac.target(), lac.switch())
-                    .expect("legal LAC");
-            }
-        }
-        let cand = ctx.evaluate_delta(&member);
         tracker.record_evaluations(1);
         if track_best(&mut best, &cand, error_bound) {
             obs.on_event(&best_improved_event(0, &best));
@@ -361,7 +397,7 @@ pub fn optimize_session(
         // With worker threads, build each member's scoring base (the
         // expensive full sim + STA) in parallel before the serial,
         // RNG-owning chase.
-        let mut bases = prebuild_bases(ctx, &population, cfg);
+        let mut bases = prebuild_bases(ctx, &population, cfg, threads);
         let offspring = match cfg.chase {
             ChaseStrategy::DoubleChase => {
                 double_chase(ctx, &population, &mut bases, a, cfg, &weights, &mut rng)
@@ -371,19 +407,38 @@ pub fn optimize_session(
             }
         };
 
-        // Candidates group: circuits before and after the chase. New
-        // offspring stay un-materialized (scores only) until they
-        // survive selection.
-        let mut candidates: Vec<PoolEntry> = population.into_iter().map(PoolEntry::Ready).collect();
-        let batch = evaluate_batch(ctx, offspring, cfg.threads);
-        tracker.record_evaluations(batch.len() as u64);
-        for entry in batch {
+        // Score the offspring over the worker pool, polling for
+        // cancellation/deadline between batches so a raised flag stops
+        // the run within one batch even mid-iteration. Best-so-far
+        // tracking and event emission stay on this thread, in
+        // candidate-index order.
+        let scored = evaluate_offspring(ctx, offspring, threads, &tracker);
+        tracker.record_evaluations(scored.results.len() as u64);
+        let mut new_entries: Vec<PoolEntry> = Vec::with_capacity(scored.results.len());
+        for entry in scored.results {
             if entry.error() <= error_bound && entry.fitness() > best.fitness {
                 best = entry.to_candidate();
                 obs.on_event(&best_improved_event(iter, &best));
             }
-            candidates.push(entry);
+            new_entries.push(entry);
         }
+        if !scored.completed {
+            // The interrupt is sticky (the flag stays raised, the
+            // deadline stays expired), so re-reading it here names the
+            // abort reason. The previous population survives untouched;
+            // whatever the completed batches found already fed the
+            // best-so-far above.
+            stop = tracker
+                .interrupted()
+                .expect("aborted batches imply a sticky interrupt");
+            break;
+        }
+
+        // Candidates group: circuits before and after the chase. New
+        // offspring stay un-materialized (scores only) until they
+        // survive selection.
+        let mut candidates: Vec<PoolEntry> = population.into_iter().map(PoolEntry::Ready).collect();
+        candidates.extend(new_entries);
 
         // Error filter at the current (relaxed) constraint, with a
         // lowest-error fallback so the population never dies out.
@@ -534,57 +589,35 @@ impl PoolEntry {
     }
 }
 
-/// Scores offspring into pool entries, fanning out over `threads`
-/// workers when asked. The output order always matches the input
-/// order, so parallel and serial runs are bit-identical.
-fn evaluate_batch(ctx: &EvalContext, offspring: Vec<Offspring>, threads: usize) -> Vec<PoolEntry> {
-    let eval_one = |off: Offspring| match off {
-        Offspring::Full(netlist) => PoolEntry::Ready(ctx.evaluate(netlist)),
-        Offspring::Scored { base, lac } => {
-            let score = ctx.score_lac(&base, lac);
-            // Keep only the base netlist; the simulated words and
-            // timing arrays are dead weight once the score exists.
-            PoolEntry::Lazy {
-                netlist: (*base).into_netlist(),
-                lac,
-                score,
-            }
-        }
-    };
-    if threads <= 1 || offspring.len() <= 1 {
-        return offspring.into_iter().map(eval_one).collect();
-    }
-    let jobs: Vec<std::sync::Mutex<Option<Offspring>>> = offspring
-        .into_iter()
-        .map(|o| std::sync::Mutex::new(Some(o)))
-        .collect();
-    let mut results: Vec<Option<PoolEntry>> = (0..jobs.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let jobs_ref = &jobs;
-    let next_ref = &next;
-    let slots = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len()) {
-            scope.spawn(|| loop {
-                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs_ref.len() {
-                    break;
+/// Scores offspring into pool entries over the worker pool, polling the
+/// tracker's bounded-latency interrupts between batches. The output
+/// order always matches the input order, so parallel and serial runs
+/// are bit-identical; an aborted run returns the completed prefix with
+/// `completed == false`.
+fn evaluate_offspring(
+    ctx: &EvalContext,
+    offspring: Vec<Offspring>,
+    threads: usize,
+    tracker: &BudgetTracker,
+) -> par::BatchedMap<PoolEntry> {
+    par::par_map_batched(
+        threads,
+        offspring,
+        |off| match off {
+            Offspring::Full(netlist) => PoolEntry::Ready(ctx.evaluate(netlist)),
+            Offspring::Scored { base, lac } => {
+                let score = ctx.score_lac(&base, lac);
+                // Keep only the base netlist; the simulated words and
+                // timing arrays are dead weight once the score exists.
+                PoolEntry::Lazy {
+                    netlist: (*base).into_netlist(),
+                    lac,
+                    score,
                 }
-                let off = jobs_ref[i]
-                    .lock()
-                    .expect("no poisoned jobs")
-                    .take()
-                    .expect("each job taken once");
-                let entry = eval_one(off);
-                let mut guard = slots.lock().expect("no poisoned evaluators");
-                guard[i] = Some(entry);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|c| c.expect("every slot evaluated"))
-        .collect()
+            }
+        },
+        || tracker.interrupted().is_none(),
+    )
 }
 
 fn sort_by_fitness(population: &mut [Candidate]) {
@@ -675,30 +708,17 @@ fn prebuild_bases(
     ctx: &EvalContext,
     population: &[Candidate],
     cfg: &OptimizerConfig,
+    threads: usize,
 ) -> Vec<Option<DeltaEval>> {
-    if cfg.threads <= 1 || population.is_empty() {
+    if threads <= 1 || population.is_empty() {
         return population.iter().map(|_| None).collect();
     }
-    let mut bases: Vec<Option<DeltaEval>> = population.iter().map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let next_ref = &next;
-    let slots = std::sync::Mutex::new(&mut bases);
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.threads.min(population.len()) {
-            scope.spawn(|| loop {
-                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= population.len() {
-                    break;
-                }
-                let base = ctx
-                    .delta_eval(population[i].netlist.clone())
-                    .with_full_resim_every(cfg.full_resim_every_n);
-                let mut guard = slots.lock().expect("no poisoned prebuilders");
-                guard[i] = Some(base);
-            });
-        }
-    });
-    bases
+    par::par_map(threads, population.iter().collect(), |cand: &Candidate| {
+        Some(
+            ctx.delta_eval(cand.netlist.clone())
+                .with_full_resim_every(cfg.full_resim_every_n),
+        )
+    })
 }
 
 fn double_chase<R: Rng>(
@@ -954,6 +974,40 @@ mod tests {
             assert_eq!(a.best_fitness, b.best_fitness);
             assert_eq!(a.feasible, b.feasible);
         }
+    }
+
+    #[test]
+    fn pre_stopped_budget_pays_no_seeding_work() {
+        // A budget that is already exhausted must not fan
+        // population-many evaluations out before the first verdict: the
+        // seeding phase truncates its member list up front, so only the
+        // accurate anchor is ever evaluated.
+        let ctx = adder_ctx();
+        let outcome = optimize_session(
+            &ctx,
+            0.05,
+            &small_cfg(ChaseStrategy::DoubleChase, 8),
+            &Budget::unlimited().with_max_iterations(0),
+            &mut NopObserver,
+        );
+        assert_eq!(outcome.stop, StopReason::IterationLimit);
+        assert_eq!(outcome.evaluations, 1, "accurate anchor only");
+        assert_eq!(outcome.population.len(), 1);
+    }
+
+    #[test]
+    fn evaluation_cap_bounds_seeding_to_the_cap() {
+        let ctx = adder_ctx();
+        let outcome = optimize_session(
+            &ctx,
+            0.05,
+            &small_cfg(ChaseStrategy::DoubleChase, 8),
+            &Budget::unlimited().with_max_evaluations(3),
+            &mut NopObserver,
+        );
+        assert_eq!(outcome.stop, StopReason::EvaluationLimit);
+        assert_eq!(outcome.evaluations, 3, "anchor + two capped members");
+        assert_eq!(outcome.population.len(), 3);
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod dcgwo;
 mod fitness;
 mod flow;
 mod lac;
+pub mod par;
 pub mod pareto;
 mod postopt;
 mod reproduce;

@@ -1,0 +1,252 @@
+//! Deterministic scoped worker pool for candidate evaluation.
+//!
+//! The paper's flow spends nearly all of its wall-clock time scoring
+//! candidate substitutions, and every score is independent of every
+//! other — "the inherent parallelism of GWO". This module is the one
+//! place in the workspace that turns that independence into threads: a
+//! hand-rolled pool over [`std::thread::scope`] (the build environment
+//! has no registry access, so no rayon) that the DCGWO offspring pool,
+//! the seeding phase, and the baseline population loops all share.
+//!
+//! # Determinism contract
+//!
+//! For a pure per-item function `f`, [`par_map`] returns exactly
+//! `items.map(f)` — same values, same order — for **every** thread
+//! count, including 1. Workers claim items from an atomic cursor, so
+//! *which worker* computes an item is scheduling-dependent, but each
+//! result lands in the slot of its input index and the caller's
+//! reduction runs single-threaded over the slots in input order.
+//! Nothing about worker scheduling can leak into the result, which is
+//! what lets `OptimizerConfig::threads` promise bit-identical
+//! [`FlowOutcome`](crate::api::FlowOutcome)s at any width.
+//!
+//! Callers that own an RNG keep it out of the pool entirely: random
+//! decisions are drawn in a serial phase (or from per-item streams split
+//! off the run seed with [`split_seed`]), and only the deterministic
+//! evaluation work goes behind [`par_map`].
+//!
+//! # Cancellation
+//!
+//! [`par_map_batched`] processes the items in bounded batches and
+//! consults a `poll` callback between batches, so a raised
+//! [`CancelFlag`](crate::api::CancelFlag) or an expired deadline stops
+//! the fan-out within one batch instead of after the whole item set —
+//! cancellation latency stays bounded as thread count grows.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the host can actually run in parallel
+/// (`std::thread::available_parallelism`, 1 when unknown).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Normalizes a thread-count knob: `0` means "one worker per available
+/// core", anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    }
+}
+
+/// Batch size used between cancellation polls: enough items to keep
+/// every worker busy several times over (amortizing the scoped-spawn
+/// cost), small enough that a cancel or deadline is noticed promptly.
+pub fn poll_batch(threads: usize) -> usize {
+    resolve_threads(threads).saturating_mul(4).max(8)
+}
+
+/// Maps `items` through `f` over `threads` workers, returning the
+/// results in input order.
+///
+/// With `threads <= 1` (or fewer than two items) the map runs inline on
+/// the calling thread; the results are identical either way — see the
+/// module-level determinism contract.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    // Per-slot mutexes instead of one big lock: workers only ever touch
+    // disjoint indices, so the locks are uncontended by construction,
+    // and the crate-wide `forbid(unsafe_code)` stays intact.
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let item = jobs[i]
+                    .lock()
+                    .expect("job mutex is never poisoned")
+                    .take()
+                    .expect("each job is claimed exactly once");
+                let result = f(item);
+                *slots[i].lock().expect("slot mutex is never poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex is never poisoned")
+                .expect("every claimed job fills its slot")
+        })
+        .collect()
+}
+
+/// Result of a [`par_map_batched`] run: the completed prefix of the
+/// map, in input order, and whether the whole item set was processed.
+#[derive(Debug)]
+pub struct BatchedMap<R> {
+    /// Results for the processed prefix of the input, in input order.
+    pub results: Vec<R>,
+    /// `false` when `poll` stopped the run before the last batch.
+    pub completed: bool,
+}
+
+/// [`par_map`] in bounded batches with a cancellation poll between
+/// them.
+///
+/// `poll` is consulted before each batch (including the first); when it
+/// returns `false` the remaining items are dropped and the completed
+/// prefix is returned with `completed == false`. Batch boundaries
+/// depend on the thread count, so callers must not tie *deterministic*
+/// stop decisions (evaluation budgets) to them — poll only the
+/// non-deterministic interrupts (cancellation, wall-clock deadline) and
+/// enforce deterministic caps in the serial reduction, per item, in
+/// input order.
+pub fn par_map_batched<T, R, F, P>(
+    threads: usize,
+    items: Vec<T>,
+    f: F,
+    mut poll: P,
+) -> BatchedMap<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    P: FnMut() -> bool,
+{
+    let batch = poll_batch(threads);
+    let mut results = Vec::with_capacity(items.len());
+    let mut rest = items.into_iter();
+    loop {
+        let chunk: Vec<T> = rest.by_ref().take(batch).collect();
+        if chunk.is_empty() {
+            return BatchedMap {
+                results,
+                completed: true,
+            };
+        }
+        if !poll() {
+            return BatchedMap {
+                results,
+                completed: false,
+            };
+        }
+        results.extend(par_map(threads, chunk, &f));
+    }
+}
+
+/// Splits a per-item RNG seed off a run seed (SplitMix64 finalizer).
+///
+/// Parallel phases that need randomness *inside* the fanned-out work —
+/// the DCGWO seeding phase chains LACs whose switch selection depends
+/// on the member's own evolving simulation state — give each item its
+/// own stream derived from `(seed, index)`, so the draws are identical
+/// whether the items run on one worker or eight.
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_for_every_width() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let got = par_map(threads, items.clone(), |x| x * x + 1);
+            assert_eq!(got, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn batched_map_completes_when_poll_allows() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map_batched(3, items.clone(), |x| x * 2, || true);
+        assert!(out.completed);
+        assert_eq!(out.results, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_map_stops_at_a_batch_boundary() {
+        let mut polls = 0;
+        let out = par_map_batched(
+            2,
+            (0..100usize).collect(),
+            |x| x,
+            || {
+                polls += 1;
+                polls <= 2 // allow two batches, stop before the third
+            },
+        );
+        assert!(!out.completed);
+        let batch = poll_batch(2);
+        assert_eq!(out.results.len(), 2 * batch);
+        assert_eq!(out.results, (0..2 * batch).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_map_can_stop_before_any_work() {
+        let out = par_map_batched(4, vec![1, 2, 3], |x| x, || false);
+        assert!(!out.completed);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn split_seed_decorrelates_indices() {
+        let a = split_seed(42, 0);
+        let b = split_seed(42, 1);
+        let c = split_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And is a pure function of (seed, index).
+        assert_eq!(split_seed(42, 1), b);
+    }
+
+    #[test]
+    fn resolve_zero_means_available() {
+        assert_eq!(resolve_threads(0), available_threads());
+        assert_eq!(resolve_threads(3), 3);
+        assert!(poll_batch(1) >= 8);
+    }
+}

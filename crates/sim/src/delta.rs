@@ -22,6 +22,18 @@
 //!   [`simulate`] pass, bounding any drift a long mutation chain could
 //!   accumulate through the incrementally maintained fan-out lists.
 //!
+//! # Scratch views for worker threads
+//!
+//! The engine is a plain value: `Clone` gives an independent **scratch
+//! view** (own netlist, own words, own overlay), and the type is both
+//! `Send` and `Sync`, so the deterministic worker pool in
+//! `tdals-core::par` can
+//! hand every worker its own clone of a shared base — the DCGWO seeding
+//! phase mutates one scratch per population member — or share one base
+//! immutably for [`DeltaSim::preview`] scoring. Nothing in here uses
+//! interior mutability, which is what makes the parallel and sequential
+//! scoring paths bit-identical by construction.
+//!
 //! # Examples
 //!
 //! ```
@@ -505,6 +517,20 @@ mod tests {
 
     fn x1(func: CellFunc) -> Cell {
         Cell::new(func, Drive::X1)
+    }
+
+    /// The worker-pool contract (see the module docs): scratch views
+    /// clone and cross threads. A regression here — say an `Rc` or a
+    /// `RefCell` slipping into the engine — would break every parallel
+    /// evaluation path in `tdals-core`, so pin it at the source.
+    #[test]
+    fn engine_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeltaSim>();
+        assert_send_sync::<DeltaView<'_>>();
+        assert_send_sync::<SimResult>();
+        assert_send_sync::<Patterns>();
+        assert_send_sync::<crate::ErrorEvaluator>();
     }
 
     /// a, b, c → chain with an AND-masked tail: g1 = a & b,

@@ -64,7 +64,7 @@ const USAGE: &str = "usage:
   tdals flow   --input <file.v | bench:NAME> --metric <er|nmed> --bound <f>
                [--method <dcgwo|gwo|hedals|greedy|vaacs>] [--output <file.v>]
                [--population <n>] [--iterations <n>] [--vectors <n>]
-               [--area-con <µm²>] [--seed <n>] [--progress]
+               [--area-con <µm²>] [--seed <n>] [--threads <n>] [--progress]
   tdals report --input <file.v | bench:NAME>
   tdals bench  --name <NAME> [--output <file.v>]
   tdals list";
@@ -149,6 +149,29 @@ fn parse_num<T: std::str::FromStr>(
     }
 }
 
+/// Parses and validates `--threads`: a positive integer worker count.
+/// Absent means one worker per available core; results are
+/// bit-identical whatever the count, so the flag only trades wall-clock
+/// for cores. `0` and non-numeric values are rejected with a typed run
+/// error (a structurally valid command line never earns a usage dump).
+fn parse_threads(opts: &HashMap<String, String>) -> Result<usize, CliError> {
+    let Some(raw) = opts.get("threads") else {
+        return Ok(tdals::core::par::available_threads());
+    };
+    let threads: usize = raw.parse().map_err(|_| {
+        CliError::run(format!(
+            "--threads: `{raw}` is not a number (expected a worker count like 4)"
+        ))
+    })?;
+    if threads == 0 {
+        return Err(CliError::run(
+            "--threads: 0 workers cannot evaluate anything; pass 1 or more \
+             (omit the flag to use every available core)",
+        ));
+    }
+    Ok(threads)
+}
+
 /// Parses and validates `--bound`: a finite number in `[0, 1]` (both ER
 /// and NMED are normalized), rejecting NaN, negatives, and values
 /// above 1 up front instead of letting them reach the optimizer.
@@ -194,11 +217,13 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
     };
     let vectors = parse_num(opts, "vectors", 4096usize)?;
     let seed = parse_num(opts, "seed", 1u64)?;
+    let threads = parse_threads(opts)?;
     let cfg = MethodConfig::default()
         .with_population(parse_num(opts, "population", 30usize)?)
         .with_iterations(parse_num(opts, "iterations", 20usize)?)
         .with_level_we(tdals::core::OptimizerConfig::paper_level_we(metric))
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_threads(threads);
 
     let patterns = Patterns::random(accurate.input_count(), vectors, seed);
     let ctx = EvalContext::new(&accurate, patterns, metric, TimingConfig::default(), 0.8);
@@ -212,11 +237,13 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let progress = opts.contains_key("progress");
 
     eprintln!(
-        "flow: {} gates, CPD_ori {:.2} ps, Area_ori {:.2} µm², method {}",
+        "flow: {} gates, CPD_ori {:.2} ps, Area_ori {:.2} µm², method {}, {} worker{}",
         accurate.logic_gate_count(),
         ctx.cpd_ori(),
         ctx.area_ori(),
-        method.label()
+        method.label(),
+        threads,
+        if threads == 1 { "" } else { "s" }
     );
     let result = Flow::for_context(&ctx)
         .error_bound(bound)

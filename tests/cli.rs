@@ -182,3 +182,94 @@ fn unknown_method_is_a_proper_error() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown method `annealer`"), "{err}");
 }
+
+#[test]
+fn threads_zero_is_a_proper_error() {
+    let out = tdals()
+        .args([
+            "flow",
+            "--input",
+            "bench:Max16",
+            "--metric",
+            "nmed",
+            "--bound",
+            "0.02",
+            "--threads",
+            "0",
+        ])
+        .output()
+        .expect("run tdals flow");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads"), "{err}");
+    assert!(err.contains("1 or more"), "{err}");
+    assert!(
+        !err.contains("usage:"),
+        "a bad thread count is a semantic error, not a usage error: {err}"
+    );
+}
+
+#[test]
+fn threads_non_numeric_is_a_proper_error() {
+    let out = tdals()
+        .args([
+            "flow",
+            "--input",
+            "bench:Max16",
+            "--metric",
+            "nmed",
+            "--bound",
+            "0.02",
+            "--threads",
+            "four",
+        ])
+        .output()
+        .expect("run tdals flow");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads: `four` is not a number"), "{err}");
+    assert!(!err.contains("usage:"), "no usage dump: {err}");
+}
+
+#[test]
+fn flow_output_is_identical_across_thread_counts() {
+    // The CLI-level face of the equivalence guarantee: the emitted
+    // Verilog is byte-identical whether the flow ran on 1 worker or 4.
+    let dir = std::env::temp_dir().join(format!("tdals-cli-threads-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let run = |threads: &str, file: &str| -> String {
+        let out_path = dir.join(file);
+        let out = tdals()
+            .args([
+                "flow",
+                "--input",
+                "bench:Int2float",
+                "--metric",
+                "er",
+                "--bound",
+                "0.05",
+                "--population",
+                "6",
+                "--iterations",
+                "3",
+                "--vectors",
+                "512",
+                "--threads",
+                threads,
+                "--output",
+                out_path.to_str().expect("utf8 path"),
+            ])
+            .output()
+            .expect("run tdals flow");
+        assert!(
+            out.status.success(),
+            "threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&out_path).expect("output written")
+    };
+    let sequential = run("1", "seq.v");
+    let parallel = run("4", "par.v");
+    assert_eq!(sequential, parallel, "emitted Verilog diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -105,6 +105,24 @@ fn baselines_surface_resolves() {
 }
 
 #[test]
+fn par_surface_resolves() {
+    // The deterministic worker pool is reachable through the umbrella
+    // and honors its order/identity contract.
+    assert!(tdals::core::par::available_threads() >= 1);
+    assert_eq!(tdals::core::par::resolve_threads(0), {
+        tdals::core::par::available_threads()
+    });
+    let doubled = tdals::core::par::par_map(4, vec![1, 2, 3], |x: i32| x * 2);
+    assert_eq!(doubled, vec![2, 4, 6]);
+    let batched = tdals::core::par::par_map_batched(2, vec![1, 2, 3], |x: i32| x + 1, || true);
+    assert!(batched.completed);
+    assert_eq!(batched.results, vec![2, 3, 4]);
+    // The thread knobs thread through every configuration layer.
+    assert_eq!(OptimizerConfig::default().with_threads(4).threads, 4);
+    assert_eq!(MethodConfig::default().with_threads(4).threads, 4);
+}
+
+#[test]
 fn api_surface_resolves() {
     // Session API types reachable through the umbrella.
     let budget: Budget = Budget::unlimited()

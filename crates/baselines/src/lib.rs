@@ -100,6 +100,23 @@ pub const ALL_METHODS: [Method; 5] = [
 ];
 
 impl Method {
+    /// Lowercase name used by the `tdals` CLI and job manifests:
+    /// `dcgwo`, `gwo`, `hedals`, `greedy`, `vaacs`.
+    pub const fn cli_name(self) -> &'static str {
+        match self {
+            Method::VecbeeSasimi => "greedy",
+            Method::Vaacs => "vaacs",
+            Method::Hedals => "hedals",
+            Method::SingleChaseGwo => "gwo",
+            Method::Dcgwo => "dcgwo",
+        }
+    }
+
+    /// Parses a [`Method::cli_name`]; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Method> {
+        ALL_METHODS.into_iter().find(|m| m.cli_name() == name)
+    }
+
     /// Column label used in the paper's tables.
     pub const fn label(self) -> &'static str {
         match self {
@@ -413,6 +430,15 @@ mod tests {
                 assert_eq!(opt.name(), method.label());
             }
         }
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for method in ALL_METHODS {
+            assert_eq!(Method::parse(method.cli_name()), Some(method));
+        }
+        assert_eq!(Method::parse("annealer"), None);
+        assert_eq!(Method::parse("DCGWO"), None, "names are lowercase");
     }
 
     #[test]

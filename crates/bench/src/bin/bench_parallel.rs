@@ -1,7 +1,13 @@
-//! Parallel candidate-evaluation benchmark: the deterministic worker
-//! pool (`tdals_core::par`) at 1/2/4 workers on the suite's largest
-//! circuit (Sqrt, 14.7k gates), emitting the machine-readable
+//! Parallel candidate-evaluation benchmark: a strong-scaling curve of
+//! the deterministic worker pool (`tdals_core::par`) on the suite's
+//! largest circuit (Sqrt, 14.7k gates), emitting the machine-readable
 //! `BENCH_parallel.json` consumed by the CI `bench-parallel` gate.
+//!
+//! The measured widths are the pinned {1, 2, 4} set (the gate's
+//! subject) extended by doubling up to the host's available cores —
+//! e.g. {1, 2, 4, 8, 16} on a 16-core box — and every width records its
+//! parallel efficiency (`speedup / workers`), so the committed JSON
+//! carries the whole scaling curve, not one ratio.
 //!
 //! ```sh
 //! # Measure and write the report next to the repo root:
@@ -51,8 +57,24 @@ const DEFAULT_SEED: u64 = 0x9A7A11;
 const DEFAULT_CANDIDATES: usize = 48;
 const DEFAULT_REPS: usize = 5;
 
-/// Worker widths measured, sequential first.
-const WIDTHS: [usize; 3] = [1, 2, 4];
+/// Worker widths measured, sequential first: the pinned {1, 2, 4} the
+/// gate relies on, extended by doubling up to the host's cores (cores
+/// itself included), so wider runners record their full strong-scaling
+/// curve.
+fn widths() -> Vec<usize> {
+    let cores = par::available_threads();
+    let mut widths = vec![1, 2, 4];
+    let mut w = 8;
+    while w < cores {
+        widths.push(w);
+        w *= 2;
+    }
+    if cores > 4 {
+        widths.push(cores);
+    }
+    widths.dedup();
+    widths
+}
 
 /// Required speedup at 4 workers on hosts with at least 4 cores.
 const REQUIRED_SPEEDUP_AT_4: f64 = 2.0;
@@ -166,13 +188,15 @@ fn measure(effort: Effort, seed: u64, candidates: usize, reps: usize) -> Json {
         ctx.evaluate(mutant)
     };
 
+    let widths = widths();
+
     // Correctness first: every width must reproduce the sequential
     // scores bit-for-bit before being timed.
     let sequential: Vec<_> = par::par_map(1, lacs.clone(), eval_one)
         .iter()
         .map(digest)
         .collect();
-    for &width in &WIDTHS[1..] {
+    for &width in &widths[1..] {
         let parallel: Vec<_> = par::par_map(width, lacs.clone(), eval_one)
             .iter()
             .map(digest)
@@ -185,24 +209,30 @@ fn measure(effort: Effort, seed: u64, candidates: usize, reps: usize) -> Json {
     }
 
     // Best-of-reps timing, whole candidate set per rep.
-    let mut us_per_cand = [f64::INFINITY; WIDTHS.len()];
+    let mut us_per_cand = vec![f64::INFINITY; widths.len()];
     for _ in 0..reps {
-        for (slot, &width) in us_per_cand.iter_mut().zip(&WIDTHS) {
+        for (slot, &width) in us_per_cand.iter_mut().zip(&widths) {
             let t = Instant::now();
             std::hint::black_box(par::par_map(width, lacs.clone(), eval_one));
             *slot = slot.min(t.elapsed().as_secs_f64() * 1e6 / candidates as f64);
         }
     }
-    for (&width, &us) in WIDTHS.iter().zip(&us_per_cand) {
+    for (&width, &us) in widths.iter().zip(&us_per_cand) {
+        let speedup = us_per_cand[0] / us;
         eprintln!(
-            "{:<6} {:>6} gates  {width} worker(s)  {:>9.1} us/cand  speedup {:>5.2}x",
+            "{:<6} {:>6} gates  {width:>2} worker(s)  {:>9.1} us/cand  speedup {:>5.2}x  efficiency {:>4.2}",
             CIRCUIT.name(),
             netlist.logic_gate_count(),
             us,
-            us_per_cand[0] / us
+            speedup,
+            speedup / width as f64
         );
     }
 
+    let at_4 = widths
+        .iter()
+        .position(|&w| w == 4)
+        .expect("the pinned width set always contains 4");
     let round2 = |x: f64| (x * 100.0).round() / 100.0;
     Json::Obj(vec![
         ("schema".into(), Json::Num(1.0)),
@@ -226,14 +256,16 @@ fn measure(effort: Effort, seed: u64, candidates: usize, reps: usize) -> Json {
         (
             "widths".into(),
             Json::Arr(
-                WIDTHS
+                widths
                     .iter()
                     .zip(&us_per_cand)
                     .map(|(&w, &us)| {
+                        let speedup = us_per_cand[0] / us;
                         Json::Obj(vec![
                             ("workers".into(), Json::Num(w as f64)),
                             ("us_per_cand".into(), Json::Num(round2(us))),
-                            ("speedup".into(), Json::Num(round2(us_per_cand[0] / us))),
+                            ("speedup".into(), Json::Num(round2(speedup))),
+                            ("efficiency".into(), Json::Num(round2(speedup / w as f64))),
                         ])
                     })
                     .collect(),
@@ -241,7 +273,7 @@ fn measure(effort: Effort, seed: u64, candidates: usize, reps: usize) -> Json {
         ),
         (
             "speedup_at_4".into(),
-            Json::Num(round2(us_per_cand[0] / us_per_cand[WIDTHS.len() - 1])),
+            Json::Num(round2(us_per_cand[0] / us_per_cand[at_4])),
         ),
     ])
 }
@@ -264,6 +296,18 @@ fn gate(fresh: &Json, baseline: &Json) -> Vec<String> {
         }
         if doc.get("speedup_at_4").and_then(Json::as_f64).is_none() {
             failures.push(format!("{who}: missing speedup_at_4"));
+        }
+        // The strong-scaling curve must be present and complete —
+        // in the committed baseline too, so it cannot rot.
+        match doc.get("widths").and_then(Json::as_array) {
+            None => failures.push(format!("{who}: missing widths array")),
+            Some(entries) => {
+                for entry in entries {
+                    if entry.get("efficiency").and_then(Json::as_f64).is_none() {
+                        failures.push(format!("{who}: width entry missing efficiency"));
+                    }
+                }
+            }
         }
     }
     if !failures.is_empty() {

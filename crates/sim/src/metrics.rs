@@ -35,6 +35,24 @@ impl ErrorMetric {
             ErrorMetric::Nmed => nmed(ori, app),
         }
     }
+
+    /// Lowercase name used by the `tdals` CLI and job manifests:
+    /// `er` / `nmed`.
+    pub const fn cli_name(self) -> &'static str {
+        match self {
+            ErrorMetric::ErrorRate => "er",
+            ErrorMetric::Nmed => "nmed",
+        }
+    }
+
+    /// Parses an [`ErrorMetric::cli_name`]; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<ErrorMetric> {
+        match name {
+            "er" => Some(ErrorMetric::ErrorRate),
+            "nmed" => Some(ErrorMetric::Nmed),
+            _ => None,
+        }
+    }
 }
 
 fn check_compat<A: SimWords, B: SimWords>(ori: &A, app: &B) {

@@ -5,6 +5,9 @@
 //! * `flow`   — approximate a structural-Verilog netlist (or a named
 //!   benchmark) under an ER/NMED budget with any of the five methods
 //!   and write the result as Verilog;
+//! * `serve-batch` — run a JSON manifest of jobs as concurrent
+//!   sessions over one shared worker pool and write a deterministic
+//!   results file;
 //! * `report` — static timing + statistics report for a netlist;
 //! * `bench`  — emit one of the paper's regenerated benchmarks as
 //!   Verilog.
@@ -13,18 +16,21 @@
 //! tdals bench --name Adder16 --output adder16.v
 //! tdals flow --input adder16.v --metric nmed --bound 0.0244 --output approx.v
 //! tdals flow --input bench:Max16 --metric nmed --bound 0.0244 --method hedals --progress
+//! tdals serve-batch --manifest jobs.json --total-threads 4 --out results.json
 //! tdals report --input approx.v
 //! ```
 
 use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use tdals::baselines::{Method, MethodConfig};
 use tdals::circuits::{Benchmark, ALL_BENCHMARKS};
-use tdals::core::api::{Flow, FlowEvent};
+use tdals::core::api::{Flow, FlowEvent, FlowOutcome};
 use tdals::core::EvalContext;
 use tdals::netlist::{verilog, Netlist};
+use tdals::server::{results_document, Manifest, Scheduler, SchedulerConfig, SessionError};
 use tdals::sim::{ErrorMetric, Patterns};
 use tdals::sta::{analyze, critical_path, TimingConfig};
 
@@ -65,6 +71,8 @@ const USAGE: &str = "usage:
                [--method <dcgwo|gwo|hedals|greedy|vaacs>] [--output <file.v>]
                [--population <n>] [--iterations <n>] [--vectors <n>]
                [--area-con <µm²>] [--seed <n>] [--threads <n>] [--progress]
+  tdals serve-batch --manifest <jobs.json> [--out <results.json>]
+               [--total-threads <n>] [--session-threads <n>] [--progress]
   tdals report --input <file.v | bench:NAME>
   tdals bench  --name <NAME> [--output <file.v>]
   tdals list";
@@ -79,6 +87,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let opts = parse_options(rest).map_err(CliError::Usage)?;
     match command.as_str() {
         "flow" => cmd_flow(&opts),
+        "serve-batch" => cmd_serve_batch(&opts),
         "report" => cmd_report(&opts),
         "bench" => cmd_bench(&opts),
         "list" => cmd_list(),
@@ -193,27 +202,21 @@ fn parse_bound(opts: &HashMap<String, String>) -> Result<f64, CliError> {
 
 fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let accurate = load_input(opts)?;
-    let metric = match opts.get("metric").map(String::as_str) {
-        Some("er") => ErrorMetric::ErrorRate,
-        Some("nmed") => ErrorMetric::Nmed,
+    let metric = match opts.get("metric") {
         // A bad value on a structurally valid command line is a run
         // error, like `--bound` and `--method`; only a missing option
-        // warrants the usage dump.
-        Some(other) => {
-            return Err(CliError::run(format!(
-                "--metric must be er|nmed, got `{other}`"
-            )))
-        }
+        // warrants the usage dump. One vocabulary with the manifest
+        // format: `ErrorMetric::parse`.
+        Some(name) => ErrorMetric::parse(name)
+            .ok_or_else(|| CliError::run(format!("--metric must be er|nmed, got `{name}`")))?,
         None => return Err(CliError::Usage("--metric is required".into())),
     };
     let bound = parse_bound(opts)?;
-    let method = match opts.get("method").map(String::as_str) {
-        None | Some("dcgwo") => Method::Dcgwo,
-        Some("gwo") => Method::SingleChaseGwo,
-        Some("hedals") => Method::Hedals,
-        Some("greedy") => Method::VecbeeSasimi,
-        Some("vaacs") => Method::Vaacs,
-        Some(other) => return Err(CliError::run(format!("unknown method `{other}`"))),
+    let method = match opts.get("method") {
+        None => Method::Dcgwo,
+        Some(name) => {
+            Method::parse(name).ok_or_else(|| CliError::run(format!("unknown method `{name}`")))?
+        }
     };
     let vectors = parse_num(opts, "vectors", 4096usize)?;
     let seed = parse_num(opts, "seed", 1u64)?;
@@ -251,7 +254,7 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
         .optimizer(method.optimizer(&cfg))
         .observe(move |ev: &FlowEvent| {
             if progress {
-                print_progress(ev);
+                print_progress("", ev);
             }
         })
         .run()
@@ -269,8 +272,9 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
 }
 
 /// Renders streaming flow events for `--progress` (stderr, so piped
-/// Verilog output stays clean).
-fn print_progress(ev: &FlowEvent) {
+/// Verilog output stays clean). `prefix` tags the session in
+/// `serve-batch`'s interleaved stream; `flow` passes "".
+fn print_progress(prefix: &str, ev: &FlowEvent) {
     match ev {
         FlowEvent::FlowStarted {
             optimizer,
@@ -279,10 +283,10 @@ fn print_progress(ev: &FlowEvent) {
             error_bound,
             ..
         } => eprintln!(
-            "[{optimizer}] start: {gates} gates, CPD_ori {cpd_ori:.2} ps, bound {error_bound}"
+            "{prefix}[{optimizer}] start: {gates} gates, CPD_ori {cpd_ori:.2} ps, bound {error_bound}"
         ),
         FlowEvent::IterationFinished { stats } => eprintln!(
-            "  iter {:>3}: constraint {:.5}, best fitness {:.4}, depth {}, area {:.1}, {} feasible",
+            "{prefix}  iter {:>3}: constraint {:.5}, best fitness {:.4}, depth {}, area {:.1}, {} feasible",
             stats.iteration,
             stats.constraint,
             stats.best_fitness,
@@ -295,21 +299,180 @@ fn print_progress(ev: &FlowEvent) {
             fitness,
             error,
             ..
-        } => eprintln!("  iter {iteration:>3}: new best fitness {fitness:.4} (error {error:.5})"),
+        } => eprintln!(
+            "{prefix}  iter {iteration:>3}: new best fitness {fitness:.4} (error {error:.5})"
+        ),
         FlowEvent::LacAccepted {
             iteration,
             error,
             area,
-        } => eprintln!("  iter {iteration:>3}: LAC accepted (error {error:.5}, area {area:.1})"),
+        } => eprintln!(
+            "{prefix}  iter {iteration:>3}: LAC accepted (error {error:.5}, area {area:.1})"
+        ),
         FlowEvent::OptimizeFinished { stop, evaluations } => {
-            eprintln!("optimizer {stop} after {evaluations} evaluations");
+            eprintln!("{prefix}optimizer {stop} after {evaluations} evaluations");
         }
         FlowEvent::PostOptFinished { report } => eprintln!(
-            "post-opt: {} gates swept, {} sizing moves, CPD {:.2} -> {:.2} ps",
+            "{prefix}post-opt: {} gates swept, {} sizing moves, CPD {:.2} -> {:.2} ps",
             report.gates_removed, report.sizing_moves, report.cpd_before, report.cpd_final
         ),
         _ => {}
     }
+}
+
+/// Parses an optional positive worker-count option (`--total-threads`,
+/// `--session-threads`): same typed-error contract as `--threads`.
+fn parse_positive(opts: &HashMap<String, String>, key: &str) -> Result<Option<usize>, CliError> {
+    let Some(raw) = opts.get(key) else {
+        return Ok(None);
+    };
+    let n: usize = raw.parse().map_err(|_| {
+        CliError::run(format!(
+            "--{key}: `{raw}` is not a number (expected a worker count like 4)"
+        ))
+    })?;
+    if n == 0 {
+        return Err(CliError::run(format!(
+            "--{key}: 0 workers cannot run anything; pass 1 or more"
+        )));
+    }
+    Ok(Some(n))
+}
+
+fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let manifest_path = opts
+        .get("manifest")
+        .ok_or_else(|| CliError::Usage("--manifest is required".into()))?;
+    // Flag validation first: a bad worker count is reported even when
+    // the manifest is absent or broken.
+    let total_flag = parse_positive(opts, "total-threads")?;
+    let session_flag = parse_positive(opts, "session-threads")?;
+    let text = fs::read_to_string(manifest_path)
+        .map_err(|e| CliError::run(format!("reading {manifest_path}: {e}")))?;
+    let manifest = Manifest::parse(&text, &|path| {
+        fs::read_to_string(path).map_err(|e| e.to_string())
+    })
+    .map_err(|e| CliError::run(e.to_string()))?;
+
+    let total = total_flag
+        .or(manifest.total_threads)
+        .unwrap_or_else(tdals::core::par::available_threads)
+        .max(1);
+    // A manifest job's `threads` is a per-job cap hint: clamp it to the
+    // pool so the same manifest is admissible at every --total-threads
+    // (results are width-invariant, so clamping cannot change them;
+    // `0` stays 0 and is rejected with its typed error below).
+    let mut jobs = manifest.jobs.clone();
+    for job in &mut jobs {
+        if let Some(t) = job.threads {
+            job.threads = Some(t.min(total));
+        }
+    }
+    // Default per-session cap: an even static split across the batch,
+    // so K near-simultaneous submissions cannot race the first session
+    // into the whole pool. Rounded up — the pool's own fair share
+    // arbitrates the remainder — and widened to the largest per-job
+    // `threads` hint so such jobs stay admissible.
+    let concurrency = jobs.len().min(total).max(1);
+    let session_cap = match session_flag {
+        Some(cap) => cap,
+        None => {
+            let hinted = jobs.iter().filter_map(|j| j.threads).max().unwrap_or(1);
+            total.div_ceil(concurrency).max(hinted).min(total)
+        }
+    };
+    let progress = opts.contains_key("progress");
+
+    let scheduler = Scheduler::new(SchedulerConfig::new(total).with_session_cap(session_cap))
+        .map_err(|e| CliError::run(e.to_string()))?;
+    // Reject the whole batch before running any of it: a manifest with
+    // one inadmissible job never produces a partial results file.
+    for job in &jobs {
+        scheduler
+            .validate(job)
+            .map_err(|e| CliError::run(e.to_string()))?;
+    }
+    eprintln!(
+        "serve-batch: {} job(s) over {total} worker slot(s), {session_cap} per session",
+        jobs.len()
+    );
+
+    let handles = jobs
+        .iter()
+        .cloned()
+        .map(|job| scheduler.submit(job))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| CliError::run(e.to_string()))?;
+
+    // Pump per-session event streams to stderr until every session is
+    // done; results land in submission order whatever order they finish.
+    // Events are drained even without --progress so the buffers stay
+    // flat over long batches.
+    let mut results: Vec<Option<Result<FlowOutcome, SessionError>>> = Vec::new();
+    results.resize_with(handles.len(), || None);
+    loop {
+        let mut pending = false;
+        for (i, handle) in handles.iter().enumerate() {
+            let events = handle.poll_events();
+            if progress {
+                let tag = format!("[{i}:{}] ", handle.name());
+                for ev in &events {
+                    print_progress(&tag, ev);
+                }
+            }
+            if results[i].is_none() {
+                match handle.try_result() {
+                    Some(result) => results[i] = Some(result),
+                    None => pending = true,
+                }
+            }
+        }
+        if !pending {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    scheduler.drain();
+    // Final drain: events that landed between the last poll and the
+    // session's completion.
+    for (i, handle) in handles.iter().enumerate() {
+        let events = handle.poll_events();
+        if progress {
+            let tag = format!("[{i}:{}] ", handle.name());
+            for ev in &events {
+                print_progress(&tag, ev);
+            }
+        }
+    }
+
+    let results: Vec<Result<FlowOutcome, SessionError>> =
+        results.into_iter().map(|r| r.expect("all done")).collect();
+    let (mut completed, mut failed) = (0usize, 0usize);
+    for result in &results {
+        match result {
+            Ok(_) => completed += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let doc = results_document(jobs.iter().zip(results.iter()));
+    let text = format!("{doc}\n");
+    match opts.get("out") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    eprintln!(
+        "serve-batch done: {completed} completed, {failed} failed of {} job(s)",
+        results.len()
+    );
+    if failed > 0 {
+        return Err(CliError::run(format!(
+            "{failed} job(s) did not complete (see the results file)"
+        )));
+    }
+    Ok(())
 }
 
 fn cmd_report(opts: &HashMap<String, String>) -> Result<(), CliError> {

@@ -18,6 +18,7 @@
 //! | [`circuits`] | `tdals-circuits` | TABLE I benchmark generators |
 //! | [`core`] | `tdals-core` | LACs, DCGWO, post-opt, full flow |
 //! | [`baselines`] | `tdals-baselines` | VECBEE-S / VaACS / HEDALS / GWO |
+//! | [`server`] | `tdals-server` | multi-tenant session scheduler |
 //!
 //! # Quick start
 //!
@@ -51,5 +52,6 @@ pub use tdals_baselines as baselines;
 pub use tdals_circuits as circuits;
 pub use tdals_core as core;
 pub use tdals_netlist as netlist;
+pub use tdals_server as server;
 pub use tdals_sim as sim;
 pub use tdals_sta as sta;

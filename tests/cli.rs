@@ -232,6 +232,74 @@ fn threads_non_numeric_is_a_proper_error() {
 }
 
 #[test]
+fn serve_batch_total_threads_zero_is_a_proper_error() {
+    let out = tdals()
+        .args([
+            "serve-batch",
+            "--manifest",
+            "does_not_matter.json",
+            "--total-threads",
+            "0",
+        ])
+        .output()
+        .expect("run tdals serve-batch");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--total-threads"), "{err}");
+    assert!(err.contains("1 or more"), "{err}");
+    assert!(
+        !err.contains("usage:"),
+        "semantic error, no usage dump: {err}"
+    );
+}
+
+#[test]
+fn serve_batch_requires_a_manifest() {
+    let out = tdals()
+        .args(["serve-batch"])
+        .output()
+        .expect("run tdals serve-batch");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--manifest is required"), "{err}");
+    assert!(
+        err.contains("usage"),
+        "a missing option earns the usage dump: {err}"
+    );
+}
+
+#[test]
+fn serve_batch_rejects_bad_manifests_without_usage_dump() {
+    let dir = std::env::temp_dir().join(format!("tdals-cli-manifest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("bad.json");
+    let check = |content: &str, needle: &str| {
+        std::fs::write(&path, content).expect("write manifest");
+        let out = tdals()
+            .args(["serve-batch", "--manifest", path.to_str().expect("utf8")])
+            .output()
+            .expect("run tdals serve-batch");
+        assert!(!out.status.success(), "manifest {content:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "manifest {content:?}: {err}");
+        assert!(!err.contains("usage:"), "no usage dump: {err}");
+    };
+    check("{ not json", "not valid JSON");
+    check(r#"{"jobs": []}"#, "empty");
+    check(
+        r#"{"jobs": [{"circuit": "bench:Max16", "metric": "er", "bound": 0.05,
+                      "method": "annealer"}]}"#,
+        "unknown method `annealer`",
+    );
+    check(
+        r#"{"jobs": [{"circuit": "bench:Max16", "metric": "er", "bound": 0.05,
+                      "method": "dcgwo", "threads": 0}]}"#,
+        "0 worker threads",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn flow_output_is_identical_across_thread_counts() {
     // The CLI-level face of the equivalence guarantee: the emitted
     // Verilog is byte-identical whether the flow ran on 1 worker or 4.

@@ -1,6 +1,7 @@
 //! Pins the umbrella crate's re-export surface: every module advertised
 //! in the `tdals` crate docs (`netlist`, `sim`, `sta`, `circuits`,
-//! `core`, `baselines`) must resolve and expose its documented types.
+//! `core`, `baselines`, `server`) must resolve and expose its
+//! documented types.
 //! Everything here goes through `tdals::…` paths only — no direct
 //! `tdals_*` crate imports — so a broken re-export is a compile error.
 
@@ -14,6 +15,9 @@ use tdals::core::{ChaseStrategy, EvalContext, FlowConfig, OptimizerConfig, PostO
 use tdals::netlist::builder::Builder;
 use tdals::netlist::cell::{Cell, CellFunc, Drive};
 use tdals::netlist::{verilog, GateId, Netlist, SignalRef};
+use tdals::server::{
+    FlowJob, JobBudget, Manifest, Scheduler, SchedulerConfig, ServerError, SessionStatus,
+};
 use tdals::sim::{simulate, ErrorMetric, Patterns};
 use tdals::sta::{analyze, SizingConfig, TimingConfig};
 
@@ -158,6 +162,42 @@ fn api_surface_resolves() {
         .run()
         .expect("valid session");
     assert!(session.ratio_cpd <= 1.0 + 1e-9);
+}
+
+#[test]
+fn server_surface_resolves() {
+    // The slot-leasing primitive behind the scheduler.
+    let pool = tdals::core::par::SlotPool::new(2);
+    assert_eq!(pool.total(), 2);
+    let lease = pool.lease(1, 2, 0).expect("grantable");
+    assert_eq!(lease.width(), 2);
+    drop(lease);
+    assert_eq!(pool.available(), 2);
+
+    // The scheduler itself, end to end through the umbrella.
+    assert_eq!(
+        Scheduler::new(SchedulerConfig::new(0)).err(),
+        Some(ServerError::NoWorkers)
+    );
+    let scheduler = Scheduler::new(SchedulerConfig::new(2)).expect("valid config");
+    let job = FlowJob::benchmark(Benchmark::Int2float)
+        .with_bound(0.05)
+        .with_scale(4, 2)
+        .with_vectors(256)
+        .with_budget(JobBudget {
+            max_iterations: Some(2),
+            ..JobBudget::default()
+        });
+    let text = Manifest::new(vec![job.clone()]).to_json().to_string();
+    let parsed = Manifest::parse(&text, &|p| Err(format!("no files: {p}"))).expect("round-trips");
+    assert_eq!(parsed.jobs, vec![job.clone()]);
+    let handle = scheduler.submit(job).expect("admitted");
+    let outcome = handle.result().expect("completed");
+    scheduler.drain();
+    assert_eq!(handle.status(), SessionStatus::Completed);
+    assert!(outcome.error <= 0.05 + 1e-12);
+    assert_eq!(Method::parse("hedals"), Some(Method::Hedals));
+    assert_eq!(Method::Dcgwo.cli_name(), "dcgwo");
 }
 
 #[test]

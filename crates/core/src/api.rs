@@ -903,6 +903,14 @@ impl<'a> Flow<'a> {
         obs.on_event(&FlowEvent::PostOptStarted { area_con });
         let post_opt = post_optimize(&mut netlist, ctx.timing(), &PostOptConfig::new(area_con));
         obs.on_event(&FlowEvent::PostOptFinished { report: post_opt });
+        #[cfg(debug_assertions)]
+        {
+            let report = tdals_lint::lint_netlist(&netlist);
+            debug_assert!(
+                report.has_no_errors(),
+                "flow produced a structurally invalid netlist after post-optimization:\n{report}"
+            );
+        }
 
         let cpd_ori = ctx.cpd_ori();
         let cpd_fac = post_opt.cpd_final;

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use tdals_netlist::{GateId, Netlist, SignalRef};
+use tdals_netlist::{GateId, Netlist, NetlistError, SignalRef};
 use tdals_sim::{DeltaSim, ErrorEvaluator, ErrorMetric, Patterns, SimResult, SimWords};
 use tdals_sta::{analyze, IncrementalSta, TimingConfig, TimingReport};
 
@@ -106,31 +106,38 @@ pub struct DeltaEval {
     area_live: f64,
 }
 
-impl DeltaEval {
-    fn new(sim: DeltaSim, sta: IncrementalSta) -> DeltaEval {
-        let netlist = sim.netlist();
-        let live = netlist.live_mask();
-        let mut live_refs = vec![0u32; netlist.gate_count()];
-        for (id, gate) in netlist.iter() {
-            if !live[id.index()] {
-                continue;
-            }
-            for fanin in gate.fanins() {
-                if let SignalRef::Gate(src) = fanin {
-                    live_refs[src.index()] += 1;
-                }
-            }
+/// Liveness mask, live reference counts, and live area of a netlist,
+/// computed from scratch (the ground truth [`DeltaEval`] maintains
+/// incrementally).
+fn counts_of(netlist: &Netlist) -> (Vec<bool>, Vec<u32>, f64) {
+    let live = netlist.live_mask();
+    let mut live_refs = vec![0u32; netlist.gate_count()];
+    for (id, gate) in netlist.iter() {
+        if !live[id.index()] {
+            continue;
         }
-        for (_, driver) in netlist.outputs() {
-            if let SignalRef::Gate(src) = driver {
+        for fanin in gate.fanins() {
+            if let SignalRef::Gate(src) = fanin {
                 live_refs[src.index()] += 1;
             }
         }
-        let area_live = netlist
-            .iter()
-            .filter(|(id, _)| live[id.index()])
-            .map(|(_, g)| g.cell().area())
-            .sum();
+    }
+    for (_, driver) in netlist.outputs() {
+        if let SignalRef::Gate(src) = driver {
+            live_refs[src.index()] += 1;
+        }
+    }
+    let area_live = netlist
+        .iter()
+        .filter(|(id, _)| live[id.index()])
+        .map(|(_, g)| g.cell().area())
+        .sum();
+    (live, live_refs, area_live)
+}
+
+impl DeltaEval {
+    fn new(sim: DeltaSim, sta: IncrementalSta) -> DeltaEval {
+        let (live, live_refs, area_live) = counts_of(sim.netlist());
         DeltaEval {
             sim,
             sta,
@@ -138,6 +145,14 @@ impl DeltaEval {
             live_refs,
             area_live,
         }
+    }
+
+    /// Rebuilds the liveness state from scratch off the current netlist.
+    fn recount(&mut self) {
+        let (live, live_refs, area_live) = counts_of(self.sim.netlist());
+        self.live = live;
+        self.live_refs = live_refs;
+        self.area_live = area_live;
     }
 
     /// Sets the simulation engine's re-base period (see
@@ -177,6 +192,107 @@ impl DeltaEval {
     /// `Area_app` of the base netlist in µm².
     pub fn area_live(&self) -> f64 {
         self.area_live
+    }
+
+    /// Liveness (PO reachability) of each gate in the base netlist.
+    pub fn live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Per gate: live reader pins + PO driver references (0 for dead
+    /// gates; primary inputs are always live regardless of their count).
+    pub fn live_refs(&self) -> &[u32] {
+        &self.live_refs
+    }
+
+    /// Applies `target := switch` to the scoring state itself: words,
+    /// timing arrays, and liveness reference counts all advance to the
+    /// substituted netlist, so subsequent previews score against the new
+    /// base. Returns the number of rewired reader pins.
+    ///
+    /// Cost is O(affected cone) for simulation and timing and O(dead
+    /// cone) for the liveness counts, except when the switch is a
+    /// currently-dead gate — its cone resurrects, which falls back to a
+    /// full reachability recount.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] (and leaves the state untouched) if the
+    /// substitution violates the topological id invariant.
+    pub fn commit(&mut self, target: GateId, switch: SignalRef) -> Result<usize, NetlistError> {
+        // The timing engine applies the mutation to the netlist it is
+        // handed; give it a scratch clone so the simulator (which owns
+        // the real netlist and applies the same rewiring internally)
+        // stays the single source of truth.
+        let mut scratch = self.sim.netlist().clone();
+        self.sta.substitute(&mut scratch, target, switch)?;
+        let rewired = self.sim.substitute(target, switch)?;
+        self.cascade_refcounts(target, switch);
+        #[cfg(debug_assertions)]
+        {
+            let report =
+                tdals_lint::refcount_consistency(self.sim.netlist(), &self.live, &self.live_refs);
+            debug_assert!(
+                report.has_no_errors(),
+                "commit({target}, {switch:?}) corrupted the liveness counts:\n{report}"
+            );
+        }
+        Ok(rewired)
+    }
+
+    /// Incrementally updates `live` / `live_refs` / `area_live` after
+    /// the netlist mutation `target := switch` has been applied.
+    fn cascade_refcounts(&mut self, target: GateId, switch: SignalRef) {
+        if !self.live[target.index()] {
+            // Only dangling readers were rewired; reachability from the
+            // POs is unchanged.
+            return;
+        }
+        if let SignalRef::Gate(sw) = switch {
+            if !self.live[sw.index()] {
+                // A dead switch cone just came alive; resurrect by
+                // recounting rather than walking it backwards.
+                self.recount();
+                return;
+            }
+        }
+        if self.sim.netlist().gate(target).is_input() {
+            // A primary input stays live with zero readers, so the
+            // death cascade below does not apply.
+            self.recount();
+            return;
+        }
+        // The target's live readers now reference the switch.
+        let moved = self.live_refs[target.index()];
+        if let SignalRef::Gate(sw) = switch {
+            self.live_refs[sw.index()] += moved;
+        }
+        self.live_refs[target.index()] = 0;
+        // The target is now unreachable; cascade deaths through its
+        // fan-in cone. Reader rewiring never touches a gate's own
+        // fan-in row, so the dead cone's rows still describe the
+        // references being released. Primary inputs lose references
+        // like any other gate but stay live at zero.
+        let netlist = self.sim.netlist();
+        self.live[target.index()] = false;
+        self.area_live -= netlist.gate(target).cell().area();
+        let mut stack = vec![target];
+        while let Some(g) = stack.pop() {
+            for fanin in netlist.gate(g).fanins() {
+                let SignalRef::Gate(src) = *fanin else {
+                    continue;
+                };
+                if !self.live[src.index()] {
+                    continue;
+                }
+                self.live_refs[src.index()] -= 1;
+                if self.live_refs[src.index()] == 0 && !netlist.gate(src).is_input() {
+                    self.live[src.index()] = false;
+                    self.area_live -= netlist.gate(src).cell().area();
+                    stack.push(src);
+                }
+            }
+        }
     }
 
     /// Live area of the circuit after substituting `target := switch`,
@@ -396,6 +512,14 @@ impl EvalContext {
         let mut netlist = base.netlist().clone();
         lac.apply(&mut netlist)
             .expect("a scored LAC respects the id invariant");
+        #[cfg(debug_assertions)]
+        {
+            let report = tdals_lint::lint_netlist(&netlist);
+            debug_assert!(
+                report.has_no_errors(),
+                "materialized LAC produced a structurally invalid netlist:\n{report}"
+            );
+        }
         score.into_candidate(netlist)
     }
 

@@ -1,0 +1,423 @@
+//! # tdals-lint
+//!
+//! Rule-registry structural verification for gate-level netlists.
+//!
+//! Every optimizer in this workspace mutates [`Netlist`]s in place —
+//! LAC substitution, gate re-sizing, dead-cone sweeps — and the
+//! incremental engines (`DeltaEval`-style reference counting,
+//! incremental STA) assume the result is still well-formed. This crate
+//! pins down what "well-formed" means as a set of independent lint
+//! rules, each emitting structured [`LintFinding`]s instead of stopping
+//! at the first violation the way `Netlist::check_invariants` does:
+//!
+//! * [`RuleId::Cycle`] — a fan-in id not strictly below its reader
+//!   (the topological id invariant; an actual combinational loop can
+//!   never be represented, so any violation is reported here);
+//! * [`RuleId::UndrivenNet`] — fan-in rows shorter/longer than the
+//!   cell arity, or references to gates outside the netlist;
+//! * [`RuleId::MultiDrivenNet`] — duplicate gate names (two drivers
+//!   claiming one net after a Verilog round-trip);
+//! * [`RuleId::DanglingWire`] — logic gates no pin or output reads;
+//! * [`RuleId::UnreachableGate`] — gates with readers but no path to
+//!   any primary output;
+//! * [`RuleId::PrimaryIo`] — input-registry/Input-cell consistency,
+//!   duplicate port names, portless modules;
+//! * [`RuleId::FanoutConsistency`] — the netlist's fan-out counts vs an
+//!   independent recount (and, via [`refcount_consistency`], the
+//!   dead-cone liveness reference counts incremental evaluators carry);
+//! * [`RuleId::LacLegality`] — whether a prospective `target := switch`
+//!   substitution keeps the netlist acyclic and width-compatible
+//!   ([`check_lac`]).
+//!
+//! Entry points: [`lint_netlist`] for an in-memory netlist,
+//! [`lint_verilog`] for source text (parse diagnostics become findings
+//! with line/column locations), and [`parse_checked`] as an opt-in
+//! strict parse gate that rejects structurally suspect modules.
+//!
+//! # Examples
+//!
+//! ```
+//! use tdals_lint::{lint_netlist, Severity};
+//! use tdals_netlist::builder::Builder;
+//!
+//! let mut b = Builder::new("clean");
+//! let ins = b.inputs("a", 2);
+//! let g = b.and(ins[0], ins[1]);
+//! b.output("y", g);
+//! let report = lint_netlist(&b.finish());
+//! assert!(report.is_clean());
+//! assert_eq!(report.findings().len(), 0);
+//! assert!(!report.findings().iter().any(|f| f.severity == Severity::Error));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use tdals_netlist::{verilog, GateId, Netlist, NetlistError, ParseVerilogError};
+
+mod rules;
+
+pub use rules::{check_lac, refcount_consistency, refcount_expected, Registry, Rule};
+
+/// How serious a finding is.
+///
+/// Errors mean the netlist violates an invariant the engines rely on;
+/// warnings flag legitimate-but-suspect intermediate states (dangling
+/// cones are the normal by-product of substitution until post-opt
+/// sweeps them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but representable; the engines still work.
+    Warning,
+    /// A structural invariant is broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable identifier of the rule (or defect class) behind a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Topological-order violation (would permit a combinational loop).
+    Cycle,
+    /// A pin or output reads a net nothing drives.
+    UndrivenNet,
+    /// One net with more than one driver.
+    MultiDrivenNet,
+    /// A gate output no pin or primary output reads.
+    DanglingWire,
+    /// A gate with readers but no path to any primary output.
+    UnreachableGate,
+    /// Primary input/output bookkeeping inconsistency.
+    PrimaryIo,
+    /// Fan-out or liveness reference counts disagree with a recount.
+    FanoutConsistency,
+    /// An illegal local approximate change.
+    LacLegality,
+    /// Source text that could not be elaborated at all.
+    Parse,
+}
+
+impl RuleId {
+    /// Stable kebab-case name (used in reports and JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::Cycle => "cycle",
+            RuleId::UndrivenNet => "undriven-net",
+            RuleId::MultiDrivenNet => "multi-driven-net",
+            RuleId::DanglingWire => "dangling-wire",
+            RuleId::UnreachableGate => "unreachable-gate",
+            RuleId::PrimaryIo => "primary-io",
+            RuleId::FanoutConsistency => "fanout-consistency",
+            RuleId::LacLegality => "lac-legality",
+            RuleId::Parse => "parse",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structural defect, tied to a rule and (when known) a location:
+/// a gate id inside the netlist and/or a line/column in the Verilog
+/// source the netlist came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintFinding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Offending gate, when the defect is anchored to one.
+    pub gate: Option<GateId>,
+    /// Offending primary output index, when anchored to one.
+    pub output: Option<usize>,
+    /// 1-based source line for parse-adjacent findings.
+    pub line: Option<usize>,
+    /// 1-based source column for parse-adjacent findings.
+    pub column: Option<usize>,
+}
+
+impl LintFinding {
+    /// A new error-severity finding.
+    pub fn error(rule: RuleId, message: impl Into<String>) -> LintFinding {
+        LintFinding {
+            rule,
+            severity: Severity::Error,
+            message: message.into(),
+            gate: None,
+            output: None,
+            line: None,
+            column: None,
+        }
+    }
+
+    /// A new warning-severity finding.
+    pub fn warning(rule: RuleId, message: impl Into<String>) -> LintFinding {
+        LintFinding {
+            severity: Severity::Warning,
+            ..LintFinding::error(rule, message)
+        }
+    }
+
+    /// Anchors the finding to a gate.
+    pub fn at_gate(mut self, gate: GateId) -> LintFinding {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// Anchors the finding to a primary output index.
+    pub fn at_output(mut self, po: usize) -> LintFinding {
+        self.output = Some(po);
+        self
+    }
+
+    /// Anchors the finding to a source position.
+    pub fn at_source(mut self, line: usize, column: usize) -> LintFinding {
+        self.line = Some(line);
+        self.column = Some(column);
+        self
+    }
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.rule)?;
+        if let (Some(line), Some(col)) = (self.line, self.column) {
+            write!(f, " {line}:{col}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of a lint pass: every finding from every rule, in rule
+/// registration order then gate order — deterministic for one input.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// An empty (clean) report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, finding: LintFinding) {
+        self.findings.push(finding);
+    }
+
+    /// Adds every finding of `other`.
+    pub fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+    }
+
+    /// All findings, in emission order.
+    pub fn findings(&self) -> &[LintFinding] {
+        &self.findings
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &LintFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &LintFinding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.warnings().count()
+    }
+
+    /// `true` when no error-severity finding was emitted (warnings are
+    /// tolerated: dangling cones are normal mid-flow).
+    pub fn has_no_errors(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// `true` when no finding of any severity was emitted.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+/// Runs the standard rule registry over a netlist.
+pub fn lint_netlist(netlist: &Netlist) -> LintReport {
+    Registry::standard().run(netlist)
+}
+
+/// Lints Verilog source text.
+///
+/// When the source parses, this is [`lint_netlist`] on the result.
+/// When it does not, the parse diagnostic itself becomes a finding —
+/// classified under the defect-class rule it corresponds to
+/// (combinational loops under [`RuleId::Cycle`], undriven nets under
+/// [`RuleId::UndrivenNet`], multiple drivers under
+/// [`RuleId::MultiDrivenNet`], everything else under
+/// [`RuleId::Parse`]) with the parser's line/column attached.
+pub fn lint_verilog(src: &str) -> LintReport {
+    match verilog::parse(src) {
+        Ok(netlist) => lint_netlist(&netlist),
+        Err(e) => {
+            let mut report = LintReport::new();
+            report.push(finding_of_parse_error(&e));
+            report
+        }
+    }
+}
+
+/// Opt-in strict parse gate: parses Verilog and rejects it unless the
+/// lint pass finds zero **errors** (warnings pass — dangling gates are
+/// representable on purpose).
+///
+/// # Errors
+///
+/// The report carrying the blocking findings — either the mapped parse
+/// diagnostic or the structural errors of the parsed netlist.
+pub fn parse_checked(src: &str) -> Result<Netlist, LintReport> {
+    match verilog::parse(src) {
+        Ok(netlist) => {
+            let report = lint_netlist(&netlist);
+            if report.has_no_errors() {
+                Ok(netlist)
+            } else {
+                Err(report)
+            }
+        }
+        Err(e) => {
+            let mut report = LintReport::new();
+            report.push(finding_of_parse_error(&e));
+            Err(report)
+        }
+    }
+}
+
+/// Maps a parse diagnostic onto the defect-class rule it evidences.
+fn finding_of_parse_error(e: &ParseVerilogError) -> LintFinding {
+    match e {
+        ParseVerilogError::CombinationalLoop { loc, .. } => {
+            LintFinding::error(RuleId::Cycle, e.to_string()).at_source(loc.line, loc.column)
+        }
+        ParseVerilogError::UnknownNet { loc, .. } => {
+            LintFinding::error(RuleId::UndrivenNet, e.to_string()).at_source(loc.line, loc.column)
+        }
+        ParseVerilogError::MultipleDrivers { loc, .. } => {
+            LintFinding::error(RuleId::MultiDrivenNet, e.to_string())
+                .at_source(loc.line, loc.column)
+        }
+        ParseVerilogError::Syntax { loc, .. } | ParseVerilogError::UnknownCell { loc, .. } => {
+            LintFinding::error(RuleId::Parse, e.to_string()).at_source(loc.line, loc.column)
+        }
+        ParseVerilogError::Netlist(NetlistError::FaninOrder { gate, .. }) => {
+            LintFinding::error(RuleId::Cycle, e.to_string()).at_gate(*gate)
+        }
+        ParseVerilogError::UnexpectedEof | ParseVerilogError::Netlist(_) => {
+            LintFinding::error(RuleId::Parse, e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdals_netlist::builder::Builder;
+
+    fn clean() -> Netlist {
+        let mut b = Builder::new("clean");
+        let ins = b.inputs("a", 3);
+        let g1 = b.and(ins[0], ins[1]);
+        let g2 = b.xor(g1, ins[2]);
+        b.output("y", g2);
+        b.finish()
+    }
+
+    #[test]
+    fn clean_netlist_has_no_findings() {
+        let report = lint_netlist(&clean());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn parse_failure_becomes_a_located_finding() {
+        let report = lint_verilog("module broken (a, y);\n  input a,;\nendmodule\n");
+        assert_eq!(report.error_count(), 1);
+        let f = &report.findings()[0];
+        assert_eq!(f.rule, RuleId::Parse);
+        assert!(f.line.is_some() && f.column.is_some(), "{f}");
+    }
+
+    #[test]
+    fn loop_source_maps_to_the_cycle_rule() {
+        let src = "module looped (a, y);\n\
+                   input a;\n output y;\n wire n1, n2;\n\
+                   AND2X1 u1 ( .Y(n1), .A(a), .B(n2) );\n\
+                   INVX1 u2 ( .Y(n2), .A(n1) );\n\
+                   assign y = n2;\n\
+                   endmodule";
+        let report = lint_verilog(src);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.findings()[0].rule, RuleId::Cycle);
+        assert!(report.findings()[0].line.is_some());
+    }
+
+    #[test]
+    fn parse_checked_accepts_clean_and_rejects_broken() {
+        let good = verilog::to_verilog(&clean());
+        assert!(parse_checked(&good).is_ok());
+        let report = parse_checked(
+            "module t (a, y);\n input a;\n output y;\n wire g;\n\
+                                    INVX1 u1 ( .Y(y_missing), .A(g) );\n assign y = y_missing;\n\
+                                    endmodule",
+        )
+        .unwrap_err();
+        assert!(!report.has_no_errors());
+    }
+
+    #[test]
+    fn display_formats_severity_rule_and_location() {
+        let f = LintFinding::warning(RuleId::DanglingWire, "gate `u1` is unread").at_source(3, 7);
+        let text = f.to_string();
+        assert!(text.contains("warning[dangling-wire]"), "{text}");
+        assert!(text.contains("3:7"), "{text}");
+    }
+}

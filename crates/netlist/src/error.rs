@@ -83,6 +83,31 @@ impl fmt::Display for NetlistError {
 
 impl std::error::Error for NetlistError {}
 
+/// A 1-based line/column position in Verilog source text.
+///
+/// Every parse diagnostic carries one, so tooling (and `tdals lint`)
+/// can point at the offending token instead of just naming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters).
+    pub column: usize,
+}
+
+impl Loc {
+    /// A new position.
+    pub fn new(line: usize, column: usize) -> Loc {
+        Loc { line, column }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}:{}", self.line, self.column)
+    }
+}
+
 /// Error produced while parsing structural Verilog.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseVerilogError {
@@ -90,34 +115,39 @@ pub enum ParseVerilogError {
     UnexpectedEof,
     /// A token violated the expected grammar.
     Syntax {
-        /// 1-based line number.
-        line: usize,
+        /// Position of the offending token.
+        loc: Loc,
         /// Explanation of the problem.
         message: String,
     },
-    /// An instance referenced an undeclared net.
+    /// An instance or output referenced a net nothing drives.
     UnknownNet {
-        /// 1-based line number.
-        line: usize,
+        /// Position of the reference (or of the net's declaration when
+        /// the undriven use is discovered during elaboration).
+        loc: Loc,
         /// Name of the undeclared net.
         net: String,
     },
     /// An instance used a cell name absent from the library.
     UnknownCell {
-        /// 1-based line number.
-        line: usize,
+        /// Position of the cell name.
+        loc: Loc,
         /// The unknown cell name.
         cell: String,
     },
     /// The instance graph contains a combinational cycle.
     CombinationalLoop {
-        /// Name of one instance on the cycle.
+        /// Name of one instance (or `assign` net) on the cycle.
         instance: String,
+        /// Position of that instance or net.
+        loc: Loc,
     },
     /// A net is driven by more than one instance output.
     MultipleDrivers {
         /// The multiply-driven net.
         net: String,
+        /// Position of the second driver.
+        loc: Loc,
     },
     /// The netlist violated a structural invariant after construction.
     Netlist(NetlistError),
@@ -127,20 +157,20 @@ impl fmt::Display for ParseVerilogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseVerilogError::UnexpectedEof => f.write_str("unexpected end of file"),
-            ParseVerilogError::Syntax { line, message } => {
-                write!(f, "syntax error on line {line}: {message}")
+            ParseVerilogError::Syntax { loc, message } => {
+                write!(f, "{loc}: syntax error: {message}")
             }
-            ParseVerilogError::UnknownNet { line, net } => {
-                write!(f, "line {line}: unknown net `{net}`")
+            ParseVerilogError::UnknownNet { loc, net } => {
+                write!(f, "{loc}: unknown net `{net}`")
             }
-            ParseVerilogError::UnknownCell { line, cell } => {
-                write!(f, "line {line}: unknown cell `{cell}`")
+            ParseVerilogError::UnknownCell { loc, cell } => {
+                write!(f, "{loc}: unknown cell `{cell}`")
             }
-            ParseVerilogError::CombinationalLoop { instance } => {
-                write!(f, "combinational loop through instance `{instance}`")
+            ParseVerilogError::CombinationalLoop { instance, loc } => {
+                write!(f, "{loc}: combinational loop through `{instance}`")
             }
-            ParseVerilogError::MultipleDrivers { net } => {
-                write!(f, "net `{net}` has multiple drivers")
+            ParseVerilogError::MultipleDrivers { net, loc } => {
+                write!(f, "{loc}: net `{net}` has multiple drivers")
             }
             ParseVerilogError::Netlist(e) => write!(f, "invalid netlist: {e}"),
         }

@@ -48,5 +48,5 @@ mod netlist;
 pub mod verilog;
 
 pub use cell::{Cell, CellFunc, Drive};
-pub use error::{NetlistError, ParseVerilogError};
+pub use error::{Loc, NetlistError, ParseVerilogError};
 pub use netlist::{Gate, GateId, Netlist, Output, SignalRef};

@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::cell::Cell;
-use crate::error::ParseVerilogError;
+use crate::error::{Loc, ParseVerilogError};
 use crate::netlist::{GateId, Netlist, SignalRef};
 
 /// Input pin names used in emitted Verilog, by pin position.
@@ -120,20 +120,24 @@ pub fn to_verilog(netlist: &Netlist) -> String {
 #[derive(Debug, Clone, PartialEq)]
 struct Token {
     text: String,
-    line: usize,
+    /// Position of the token's first character.
+    loc: Loc,
 }
 
 fn tokenize(src: &str) -> Vec<Token> {
     let mut tokens = Vec::new();
-    let mut line = 1usize;
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0usize;
+    // Current position (1-based line and character column).
+    let mut line = 1usize;
+    let mut col = 1usize;
     let mut cur = String::new();
-    let flush = |cur: &mut String, tokens: &mut Vec<Token>, line: usize| {
+    let mut cur_loc = Loc::new(1, 1);
+    let flush = |cur: &mut String, cur_loc: Loc, tokens: &mut Vec<Token>| {
         if !cur.is_empty() {
             tokens.push(Token {
                 text: std::mem::take(cur),
-                line,
+                loc: cur_loc,
             });
         }
     };
@@ -141,46 +145,59 @@ fn tokenize(src: &str) -> Vec<Token> {
         let c = bytes[i];
         match c {
             '\n' => {
-                flush(&mut cur, &mut tokens, line);
+                flush(&mut cur, cur_loc, &mut tokens);
                 line += 1;
+                col = 1;
                 i += 1;
             }
             c if c.is_whitespace() => {
-                flush(&mut cur, &mut tokens, line);
+                flush(&mut cur, cur_loc, &mut tokens);
+                col += 1;
                 i += 1;
             }
             '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
-                flush(&mut cur, &mut tokens, line);
+                flush(&mut cur, cur_loc, &mut tokens);
                 while i < bytes.len() && bytes[i] != '\n' {
                     i += 1;
+                    col += 1;
                 }
             }
             '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
-                flush(&mut cur, &mut tokens, line);
+                flush(&mut cur, cur_loc, &mut tokens);
                 i += 2;
+                col += 2;
                 while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
                     if bytes[i] == '\n' {
                         line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
                     }
                     i += 1;
                 }
                 i = (i + 2).min(bytes.len());
+                col += 2;
             }
             '(' | ')' | ',' | ';' | '.' | '=' => {
-                flush(&mut cur, &mut tokens, line);
+                flush(&mut cur, cur_loc, &mut tokens);
                 tokens.push(Token {
                     text: c.to_string(),
-                    line,
+                    loc: Loc::new(line, col),
                 });
+                col += 1;
                 i += 1;
             }
             _ => {
+                if cur.is_empty() {
+                    cur_loc = Loc::new(line, col);
+                }
                 cur.push(c);
+                col += 1;
                 i += 1;
             }
         }
     }
-    flush(&mut cur, &mut tokens, line);
+    flush(&mut cur, cur_loc, &mut tokens);
     tokens
 }
 
@@ -199,7 +216,7 @@ enum NetDriver {
 struct RawInstance {
     name: String,
     cell: Cell,
-    line: usize,
+    loc: Loc,
     /// Net index per input pin.
     input_nets: Vec<Option<usize>>,
     output_net: Option<usize>,
@@ -225,7 +242,7 @@ impl Parser {
         let t = self.next()?;
         if t.text != text {
             return Err(ParseVerilogError::Syntax {
-                line: t.line,
+                loc: t.loc,
                 message: format!("expected `{text}`, found `{}`", t.text),
             });
         }
@@ -240,7 +257,7 @@ impl Parser {
             .all(|c| c.is_alphanumeric() || c == '_' || c == '\'' || c == '[' || c == ']');
         if t.text.is_empty() || !ok {
             return Err(ParseVerilogError::Syntax {
-                line: t.line,
+                loc: t.loc,
                 message: format!("expected identifier, found `{}`", t.text),
             });
         }
@@ -278,23 +295,29 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
     let mut net_ids: HashMap<String, usize> = HashMap::new();
     let mut drivers: Vec<NetDriver> = Vec::new();
     let mut net_names: Vec<String> = Vec::new();
-    let intern = |name: &str,
+    // First-seen position of each net, so diagnostics discovered during
+    // elaboration (undriven nets, alias cycles) still point into the
+    // source.
+    let mut net_locs: Vec<Loc> = Vec::new();
+    let intern = |tok: &Token,
                   net_ids: &mut HashMap<String, usize>,
                   drivers: &mut Vec<NetDriver>,
-                  net_names: &mut Vec<String>|
+                  net_names: &mut Vec<String>,
+                  net_locs: &mut Vec<Loc>|
      -> usize {
-        if let Some(&id) = net_ids.get(name) {
+        if let Some(&id) = net_ids.get(&tok.text) {
             return id;
         }
         let id = drivers.len();
-        net_ids.insert(name.to_owned(), id);
+        net_ids.insert(tok.text.clone(), id);
         // Constant literals used directly as operands are pre-driven nets.
-        drivers.push(match name {
+        drivers.push(match tok.text.as_str() {
             "1'b0" => NetDriver::Const(false),
             "1'b1" => NetDriver::Const(true),
             _ => NetDriver::Undriven,
         });
-        net_names.push(name.to_owned());
+        net_names.push(tok.text.clone());
+        net_locs.push(tok.loc);
         id
     };
 
@@ -310,10 +333,19 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                 let kind = t.text.clone();
                 loop {
                     let name_tok = p.ident()?;
-                    let net = intern(&name_tok.text, &mut net_ids, &mut drivers, &mut net_names);
+                    let net = intern(
+                        &name_tok,
+                        &mut net_ids,
+                        &mut drivers,
+                        &mut net_names,
+                        &mut net_locs,
+                    );
                     if kind == "input" {
                         if drivers[net] != NetDriver::Undriven {
-                            return Err(ParseVerilogError::MultipleDrivers { net: name_tok.text });
+                            return Err(ParseVerilogError::MultipleDrivers {
+                                net: name_tok.text,
+                                loc: name_tok.loc,
+                            });
                         }
                         drivers[net] = NetDriver::PrimaryInput(input_order.len());
                         input_order.push(net);
@@ -326,7 +358,7 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                         ";" => break,
                         other => {
                             return Err(ParseVerilogError::Syntax {
-                                line: sep.line,
+                                loc: sep.loc,
                                 message: format!("expected `,` or `;`, found `{other}`"),
                             })
                         }
@@ -335,19 +367,34 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
             }
             "assign" => {
                 let lhs_tok = p.ident()?;
-                let lhs = intern(&lhs_tok.text, &mut net_ids, &mut drivers, &mut net_names);
+                let lhs = intern(
+                    &lhs_tok,
+                    &mut net_ids,
+                    &mut drivers,
+                    &mut net_names,
+                    &mut net_locs,
+                );
                 p.expect("=")?;
                 let rhs_tok = p.ident()?;
                 let value = match rhs_tok.text.as_str() {
                     "1'b0" => NetDriver::Const(false),
                     "1'b1" => NetDriver::Const(true),
-                    name => {
-                        let rhs = intern(name, &mut net_ids, &mut drivers, &mut net_names);
+                    _ => {
+                        let rhs = intern(
+                            &rhs_tok,
+                            &mut net_ids,
+                            &mut drivers,
+                            &mut net_names,
+                            &mut net_locs,
+                        );
                         NetDriver::Alias(rhs)
                     }
                 };
                 if !matches!(drivers[lhs], NetDriver::Undriven) {
-                    return Err(ParseVerilogError::MultipleDrivers { net: lhs_tok.text });
+                    return Err(ParseVerilogError::MultipleDrivers {
+                        net: lhs_tok.text,
+                        loc: lhs_tok.loc,
+                    });
                 }
                 drivers[lhs] = value;
                 p.expect(";")?;
@@ -357,7 +404,7 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                 let cell: Cell = cell_name
                     .parse()
                     .map_err(|_| ParseVerilogError::UnknownCell {
-                        line: t.line,
+                        loc: t.loc,
                         cell: cell_name.to_owned(),
                     })?;
                 let inst_name = p.ident()?.text;
@@ -378,19 +425,21 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                             if pin == "Y" {
                                 if net_tok.text == "1'b0" || net_tok.text == "1'b1" {
                                     return Err(ParseVerilogError::Syntax {
-                                        line: net_tok.line,
+                                        loc: net_tok.loc,
                                         message: "constant on output pin".to_owned(),
                                     });
                                 }
                                 let net = intern(
-                                    &net_tok.text,
+                                    &net_tok,
                                     &mut net_ids,
                                     &mut drivers,
                                     &mut net_names,
+                                    &mut net_locs,
                                 );
                                 if !matches!(drivers[net], NetDriver::Undriven) {
                                     return Err(ParseVerilogError::MultipleDrivers {
                                         net: net_tok.text,
+                                        loc: net_tok.loc,
                                     });
                                 }
                                 drivers[net] = NetDriver::Instance(instances.len());
@@ -401,21 +450,22 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                                     .position(|&n| n == pin)
                                     .filter(|&i| i < cell.arity())
                                     .ok_or_else(|| ParseVerilogError::Syntax {
-                                        line: pin_tok.line,
+                                        loc: pin_tok.loc,
                                         message: format!("unknown pin `{pin}` on cell {cell_name}"),
                                     })?;
                                 let net = intern(
-                                    &net_tok.text,
+                                    &net_tok,
                                     &mut net_ids,
                                     &mut drivers,
                                     &mut net_names,
+                                    &mut net_locs,
                                 );
                                 input_nets[idx] = Some(net);
                             }
                         }
                         other => {
                             return Err(ParseVerilogError::Syntax {
-                                line: tok.line,
+                                loc: tok.loc,
                                 message: format!("unexpected token `{other}` in instance"),
                             })
                         }
@@ -425,7 +475,7 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                 instances.push(RawInstance {
                     name: inst_name,
                     cell,
-                    line: t.line,
+                    loc: t.loc,
                     input_nets,
                     output_net,
                 });
@@ -439,25 +489,27 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
         net: usize,
         drivers: &[NetDriver],
         net_names: &[String],
+        net_locs: &[Loc],
         depth: usize,
     ) -> Result<NetDriver, ParseVerilogError> {
         if depth > drivers.len() {
             return Err(ParseVerilogError::CombinationalLoop {
                 instance: net_names[net].clone(),
+                loc: net_locs[net],
             });
         }
         match drivers[net] {
-            NetDriver::Alias(next) => resolve(next, drivers, net_names, depth + 1),
+            NetDriver::Alias(next) => resolve(next, drivers, net_names, net_locs, depth + 1),
             other => Ok(other),
         }
     }
 
     // Topological sort of instances (Kahn) over instance->instance deps.
     let inst_of_net = |net: usize| -> Result<Option<usize>, ParseVerilogError> {
-        match resolve(net, &drivers, &net_names, 0)? {
+        match resolve(net, &drivers, &net_names, &net_locs, 0)? {
             NetDriver::Instance(i) => Ok(Some(i)),
             NetDriver::Undriven => Err(ParseVerilogError::UnknownNet {
-                line: 0,
+                loc: net_locs[net],
                 net: net_names[net].clone(),
             }),
             _ => Ok(None),
@@ -469,7 +521,7 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
     for (i, inst) in instances.iter().enumerate() {
         for (pin, net) in inst.input_nets.iter().enumerate() {
             let net = net.ok_or_else(|| ParseVerilogError::Syntax {
-                line: inst.line,
+                loc: inst.loc,
                 message: format!(
                     "instance `{}` leaves pin {} unconnected",
                     inst.name, PIN_NAMES[pin]
@@ -505,6 +557,7 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
             .expect("cycle implies positive indegree");
         return Err(ParseVerilogError::CombinationalLoop {
             instance: instances[stuck].name.clone(),
+            loc: instances[stuck].loc,
         });
     }
 
@@ -517,9 +570,9 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
     let mut inst_gate: Vec<Option<GateId>> = vec![None; instances.len()];
     let signal_of_net = |net: usize,
                          inst_gate: &[Option<GateId>],
-                         line: usize|
+                         loc: Loc|
      -> Result<SignalRef, ParseVerilogError> {
-        match resolve(net, &drivers, &net_names, 0)? {
+        match resolve(net, &drivers, &net_names, &net_locs, 0)? {
             NetDriver::Const(false) => Ok(SignalRef::Const0),
             NetDriver::Const(true) => Ok(SignalRef::Const1),
             NetDriver::PrimaryInput(idx) => Ok(SignalRef::Gate(pi_gate[idx])),
@@ -528,10 +581,11 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
                     .map(SignalRef::Gate)
                     .ok_or(ParseVerilogError::CombinationalLoop {
                         instance: instances[i].name.clone(),
+                        loc: instances[i].loc,
                     })
             }
             NetDriver::Undriven | NetDriver::Alias(_) => Err(ParseVerilogError::UnknownNet {
-                line,
+                loc,
                 net: net_names[net].clone(),
             }),
         }
@@ -542,11 +596,11 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
         let mut fanins = Vec::with_capacity(inst.cell.arity());
         for net in &inst.input_nets {
             let net = net.expect("checked above");
-            fanins.push(signal_of_net(net, &inst_gate, inst.line)?);
+            fanins.push(signal_of_net(net, &inst_gate, inst.loc)?);
         }
         if inst.output_net.is_none() {
             return Err(ParseVerilogError::Syntax {
-                line: inst.line,
+                loc: inst.loc,
                 message: format!("instance `{}` has no output connection", inst.name),
             });
         }
@@ -555,7 +609,7 @@ pub fn parse(src: &str) -> Result<Netlist, ParseVerilogError> {
     }
 
     for (name, net) in output_order {
-        let driver = signal_of_net(net, &inst_gate, 0)?;
+        let driver = signal_of_net(net, &inst_gate, net_locs[net])?;
         netlist.add_output(name, driver);
     }
     netlist.check_invariants()?;

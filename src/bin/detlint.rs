@@ -1,0 +1,374 @@
+//! `detlint` — source-level determinism lint for the tdals workspace.
+//!
+//! The whole repository promises bit-identical results for one seed,
+//! whatever the thread count or host. Three source patterns can quietly
+//! break that promise:
+//!
+//! 1. **Hash-order iteration** — walking a `HashMap`/`HashSet` and
+//!    letting the visit order reach anything serialized or compared
+//!    (digests, result files, candidate ranking);
+//! 2. **Wall-clock reads** — `Instant::now()` / `SystemTime::now()`
+//!    values flowing into serialized outcomes;
+//! 3. **Ambient RNG construction** — randomness not derived from the
+//!    session seed via `split_seed` (`thread_rng`, `from_entropy`,
+//!    `OsRng`).
+//!
+//! The scan is textual and deliberately over-approximate: every hit is
+//! either removed or *audited* — recorded in the allowlist file
+//! (`detlint.allow` by default) with a reason. Allowlist lines have the
+//! form `path-suffix :: line-substring :: reason`; `#` starts a
+//! comment. A violation is any finding without an allowlist entry; a
+//! stale entry (matching nothing) is also an error so the audit file
+//! cannot rot.
+//!
+//! ```sh
+//! detlint                       # scan src/, crates/, tests/ from .
+//! detlint --root /path/to/repo --allowlist detlint.allow
+//! ```
+//!
+//! The tool reads only workspace sources (`vendor/` and `target/` are
+//! skipped, as is this file itself — it names the patterns it hunts).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One determinism-relevant source site.
+struct Finding {
+    path: String,
+    line: usize,
+    kind: &'static str,
+    excerpt: String,
+}
+
+/// One audited exemption: `path-suffix :: line-substring :: reason`.
+struct Allow {
+    path_suffix: String,
+    needle: String,
+    reason: String,
+    used: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path = PathBuf::from("detlint.allow");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root requires a value"),
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allowlist_path = PathBuf::from(v),
+                None => return usage("--allowlist requires a value"),
+            },
+            other => return usage(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let mut files = Vec::new();
+    for dir in ["src", "crates", "tests"] {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in &files {
+        // The linter names the patterns it hunts; scanning itself would
+        // flag its own definitions.
+        if path.ends_with("src/bin/detlint.rs") {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(path) else {
+            eprintln!("detlint: unreadable file {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .into_owned();
+        scan_file(&rel, &text, &mut findings);
+    }
+
+    let allowlist_file = root.join(&allowlist_path);
+    let mut allows = match fs::read_to_string(&allowlist_file) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Vec::new(),
+    };
+
+    let mut violations = 0usize;
+    let mut allowed = 0usize;
+    for f in &findings {
+        let entry = allows
+            .iter_mut()
+            .find(|a| f.path.ends_with(&a.path_suffix) && f.excerpt.contains(&a.needle));
+        match entry {
+            Some(a) => {
+                a.used = true;
+                allowed += 1;
+            }
+            None => {
+                violations += 1;
+                eprintln!(
+                    "detlint: {}:{}: [{}] {}",
+                    f.path,
+                    f.line,
+                    f.kind,
+                    f.excerpt.trim()
+                );
+            }
+        }
+    }
+    let mut stale = 0usize;
+    for a in &allows {
+        if !a.used {
+            stale += 1;
+            eprintln!(
+                "detlint: stale allowlist entry `{} :: {}` ({}): matches nothing",
+                a.path_suffix, a.needle, a.reason
+            );
+        }
+    }
+    eprintln!(
+        "detlint: {} file(s), {} finding(s): {} allowed, {} violation(s), {} stale entr(ies)",
+        files.len(),
+        findings.len(),
+        allowed,
+        violations,
+        stale
+    );
+    if violations > 0 || stale > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("detlint: {message}");
+    eprintln!("usage: detlint [--root <dir>] [--allowlist <file>]");
+    ExitCode::FAILURE
+}
+
+/// Recursively collects `.rs` files, skipping `vendor/` and `target/`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn parse_allowlist(text: &str) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The separator requires surrounding spaces so path-qualified
+        // needles like `Instant::now` survive the split.
+        let mut parts = line.splitn(3, " :: ").map(str::trim);
+        let (Some(path_suffix), Some(needle), Some(reason)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            eprintln!(
+                "detlint: malformed allowlist line (want `path :: substring :: reason`): {line}"
+            );
+            continue;
+        };
+        allows.push(Allow {
+            path_suffix: path_suffix.to_owned(),
+            needle: needle.to_owned(),
+            reason: reason.to_owned(),
+            used: false,
+        });
+    }
+    allows
+}
+
+/// Adds every determinism-relevant site of one file to `findings`.
+fn scan_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    // Pass 1: names bound to hash collections in this file — `let`
+    // bindings, struct fields, and functions returning one.
+    let mut hash_names: Vec<String> = Vec::new();
+    let mut hash_fns: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("//") || !(t.contains("HashMap") || t.contains("HashSet")) {
+            continue;
+        }
+        if let Some(name) = let_binding_name(t) {
+            hash_names.push(name);
+        } else if let Some(name) = fn_name(t) {
+            // Only functions *returning* a hash collection; parameters
+            // of hash type do not make the function's result unordered.
+            if t.split("->")
+                .nth(1)
+                .is_some_and(|ret| ret.contains("HashMap") || ret.contains("HashSet"))
+            {
+                hash_fns.push(name);
+            }
+        } else if let Some(name) = field_name(t) {
+            hash_names.push(name);
+        }
+    }
+    hash_names.sort();
+    hash_names.dedup();
+
+    // Pass 2: per-line pattern checks.
+    let iter_suffixes = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".into_keys()",
+        ".into_values()",
+        ".drain(",
+        ".retain(",
+    ];
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let t = line.trim();
+        if t.starts_with("//") {
+            continue;
+        }
+        let push = |findings: &mut Vec<Finding>, kind| {
+            findings.push(Finding {
+                path: rel.to_owned(),
+                line: lineno,
+                kind,
+                excerpt: t.to_owned(),
+            });
+        };
+        if t.contains("Instant::now(") || t.contains("SystemTime::now(") {
+            push(findings, "wall-clock");
+        }
+        if t.contains("thread_rng(") || t.contains("from_entropy(") || t.contains("OsRng") {
+            push(findings, "ambient-rng");
+        }
+        let mut hash_iter = false;
+        for name in &hash_names {
+            for suffix in &iter_suffixes {
+                if contains_token_then(t, name, suffix) {
+                    hash_iter = true;
+                }
+            }
+            if t.contains("for ")
+                && (contains_token_then(t, &format!("in &{name}"), "")
+                    || contains_token_then(t, &format!("in &mut {name}"), "")
+                    || contains_token_then(t, &format!("in {name}"), ""))
+            {
+                hash_iter = true;
+            }
+        }
+        for fname in &hash_fns {
+            for suffix in &iter_suffixes {
+                if t.contains(&format!("{fname}(){suffix}"))
+                    || t.contains(&format!("{fname}(&"))
+                        && iter_suffixes.iter().any(|s| t.contains(s))
+                {
+                    hash_iter = true;
+                }
+            }
+        }
+        if hash_iter {
+            push(findings, "hash-iteration");
+        }
+    }
+}
+
+/// `needle` followed by `suffix`, with no identifier character right
+/// before `needle` (so tracking `dec` never fires inside `decode`).
+fn contains_token_then(line: &str, needle: &str, suffix: &str) -> bool {
+    let pattern = format!("{needle}{suffix}");
+    let mut from = 0usize;
+    while let Some(pos) = line[from..].find(&pattern) {
+        let at = from + pos;
+        let boundary = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// The bound identifier of a `let` / `let mut` statement.
+fn let_binding_name(t: &str) -> Option<String> {
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    take_ident(rest)
+}
+
+/// The name of a `fn` declared on this line.
+fn fn_name(t: &str) -> Option<String> {
+    let at = t.find("fn ")?;
+    // Reject e.g. `often ` — require a word boundary before `fn`.
+    if at > 0
+        && t[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    take_ident(&t[at + 3..])
+}
+
+/// The field name of a `name: HashMap<..>` struct-field line.
+fn field_name(t: &str) -> Option<String> {
+    if t.contains("fn ") || t.starts_with("let ") {
+        return None;
+    }
+    let t = t.strip_prefix("pub ").unwrap_or(t);
+    let colon = t.find(':')?;
+    let name = take_ident(t)?;
+    // The identifier must run right up to the colon (`name: T`), not be
+    // part of an expression or a path.
+    if t[name.len()..colon].trim().is_empty() && !t[colon..].starts_with("::") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Leading identifier of `s`, if any.
+fn take_ident(s: &str) -> Option<String> {
+    let end = s
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    let ident = &s[..end];
+    if ident
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+    {
+        Some(ident.to_owned())
+    } else {
+        None
+    }
+}

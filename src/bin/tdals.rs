@@ -10,7 +10,10 @@
 //!   results file;
 //! * `report` — static timing + statistics report for a netlist;
 //! * `bench`  — emit one of the paper's regenerated benchmarks as
-//!   Verilog.
+//!   Verilog;
+//! * `lint`   — structural verification of a netlist (undriven nets,
+//!   cycles, dangling wires, fan-out consistency, …) with optional
+//!   machine-readable JSON findings.
 //!
 //! ```sh
 //! tdals bench --name Adder16 --output adder16.v
@@ -18,6 +21,7 @@
 //! tdals flow --input bench:Max16 --metric nmed --bound 0.0244 --method hedals --progress
 //! tdals serve-batch --manifest jobs.json --total-threads 4 --out results.json
 //! tdals report --input approx.v
+//! tdals lint --input approx.v --deny warnings --json
 //! ```
 
 use std::collections::HashMap;
@@ -33,6 +37,7 @@ use tdals::netlist::{verilog, Netlist};
 use tdals::server::{results_document, Manifest, Scheduler, SchedulerConfig, SessionError};
 use tdals::sim::{ErrorMetric, Patterns};
 use tdals::sta::{analyze, critical_path, TimingConfig};
+use tdals_bench::json::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,10 +80,12 @@ const USAGE: &str = "usage:
                [--total-threads <n>] [--session-threads <n>] [--progress]
   tdals report --input <file.v | bench:NAME>
   tdals bench  --name <NAME> [--output <file.v>]
+  tdals lint   --input <file.v | bench:NAME> [--deny warnings] [--json]
+               [--out <file.json>]
   tdals list";
 
 /// Options that are flags (present/absent, no value).
-const FLAGS: [&str; 1] = ["progress"];
+const FLAGS: [&str; 2] = ["progress", "json"];
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = args.split_first() else {
@@ -90,6 +97,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "serve-batch" => cmd_serve_batch(&opts),
         "report" => cmd_report(&opts),
         "bench" => cmd_bench(&opts),
+        "lint" => cmd_lint(&opts),
         "list" => cmd_list(),
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
@@ -533,6 +541,97 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), CliError> {
         bench.description()
     );
     write_output(opts, &netlist)
+}
+
+fn cmd_lint(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let input = opts
+        .get("input")
+        .ok_or_else(|| CliError::Usage("--input is required".into()))?;
+    let deny_warnings = match opts.get("deny").map(String::as_str) {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => {
+            return Err(CliError::run(format!(
+                "--deny: only `warnings` can be denied, got `{other}`"
+            )))
+        }
+    };
+    // A Verilog file goes through `lint_verilog`, so a file that does
+    // not even parse still produces one located finding instead of a
+    // bare parse error; generated benchmarks are linted in memory.
+    let (subject, report) = if let Some(name) = input.strip_prefix("bench:") {
+        let netlist = benchmark_by_name(name)?.build();
+        (
+            netlist.name().to_owned(),
+            tdals::lint::lint_netlist(&netlist),
+        )
+    } else {
+        let text = fs::read_to_string(input)
+            .map_err(|e| CliError::run(format!("reading {input}: {e}")))?;
+        (input.clone(), tdals::lint::lint_verilog(&text))
+    };
+
+    for finding in report.findings() {
+        eprintln!("{subject}: {finding}");
+    }
+    let json = lint_json(input, &report);
+    if let Some(path) = opts.get("out") {
+        let text = format!("{json}\n");
+        fs::write(path, &text).map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    if opts.contains_key("json") {
+        println!("{json}");
+    }
+    eprintln!(
+        "{subject}: {} error(s), {} warning(s)",
+        report.error_count(),
+        report.warning_count()
+    );
+    if !report.has_no_errors() {
+        return Err(CliError::run(format!(
+            "{subject}: lint failed with {} error(s)",
+            report.error_count()
+        )));
+    }
+    if deny_warnings && !report.is_clean() {
+        return Err(CliError::run(format!(
+            "{subject}: lint failed with {} warning(s) (--deny warnings)",
+            report.warning_count()
+        )));
+    }
+    Ok(())
+}
+
+/// Renders a lint report as the machine-readable findings document the
+/// CI gate archives (same self-contained JSON codec as the benchmark
+/// pipeline).
+fn lint_json(input: &str, report: &tdals::lint::LintReport) -> Json {
+    let opt_num = |v: Option<usize>| match v {
+        Some(n) => Json::Num(n as f64),
+        None => Json::Null,
+    };
+    let findings: Vec<Json> = report
+        .findings()
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("rule".into(), Json::Str(f.rule.as_str().into())),
+                ("severity".into(), Json::Str(f.severity.to_string())),
+                ("message".into(), Json::Str(f.message.clone())),
+                ("gate".into(), opt_num(f.gate.map(|g| g.index()))),
+                ("output".into(), opt_num(f.output)),
+                ("line".into(), opt_num(f.line)),
+                ("column".into(), opt_num(f.column)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("input".into(), Json::Str(input.into())),
+        ("errors".into(), Json::Num(report.error_count() as f64)),
+        ("warnings".into(), Json::Num(report.warning_count() as f64)),
+        ("findings".into(), Json::Arr(findings)),
+    ])
 }
 
 fn cmd_list() -> Result<(), CliError> {

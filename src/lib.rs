@@ -19,6 +19,7 @@
 //! | [`core`] | `tdals-core` | LACs, DCGWO, post-opt, full flow |
 //! | [`baselines`] | `tdals-baselines` | VECBEE-S / VaACS / HEDALS / GWO |
 //! | [`server`] | `tdals-server` | multi-tenant session scheduler |
+//! | [`lint`] | `tdals-lint` | structural netlist lint rules |
 //!
 //! # Quick start
 //!
@@ -48,9 +49,13 @@
 //! Swap the optimizer to compare methods under identical protocol:
 //! `.optimizer(tdals::baselines::Method::Hedals.optimizer(&cfg))`.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use tdals_baselines as baselines;
 pub use tdals_circuits as circuits;
 pub use tdals_core as core;
+pub use tdals_lint as lint;
 pub use tdals_netlist as netlist;
 pub use tdals_server as server;
 pub use tdals_sim as sim;

@@ -241,6 +241,60 @@ proptest! {
     }
 
     #[test]
+    fn delta_eval_refcounts_survive_commit_sequences(seed in 0u64..60, lacs in 1usize..6) {
+        let n = random_netlist(seed, 5, 35, 4);
+        let ctx = EvalContext::new(
+            &n,
+            Patterns::random(5, 128, seed),
+            ErrorMetric::ErrorRate,
+            TimingConfig::default(),
+            0.8,
+        );
+        // A tiny re-base period so the sequence also exercises the
+        // simulator's full-resimulation path between commits.
+        let mut base = ctx.delta_eval(n).with_full_resim_every(2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
+        for _ in 0..lacs {
+            let Some(lac) = random_lac(base.netlist(), base.sim(), 16, &mut rng) else {
+                break;
+            };
+            let (target, switch) = (lac.target(), lac.switch());
+            // Previews must not disturb the base state.
+            let _ = ctx.score_lac(&base, lac);
+            let switch_live = match switch {
+                SignalRef::Gate(sw) => base.live()[sw.index()],
+                _ => true,
+            };
+            let predicted = base.area_after(target, switch);
+            base.commit(target, switch).expect("legal LAC");
+            // The dead-cone preview models shrinking cones only; a dead
+            // switch resurrects its cone, which previews cannot see.
+            if switch_live {
+                prop_assert!(
+                    (predicted - base.area_live()).abs() < 1e-9,
+                    "previewed area {} vs committed {}",
+                    predicted,
+                    base.area_live()
+                );
+            }
+            // The incrementally-maintained counts must match a
+            // from-scratch reachability recount after every commit.
+            let report = tdals::lint::refcount_consistency(
+                base.netlist(),
+                base.live(),
+                base.live_refs(),
+            );
+            prop_assert!(report.is_clean(), "{}", report);
+            let (live, refs) = tdals::lint::refcount_expected(base.netlist());
+            prop_assert_eq!(base.live(), &live[..]);
+            let _ = refs;
+            // And the derived area must match a fresh evaluator's.
+            let fresh = ctx.delta_eval(base.netlist().clone());
+            prop_assert!((base.area_live() - fresh.area_live()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
     fn evaluated_error_matches_direct_measurement(seed in 0u64..60) {
         let n = random_netlist(seed, 5, 25, 3);
         let ctx = EvalContext::new(

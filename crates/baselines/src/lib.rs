@@ -52,9 +52,6 @@
 //!     .expect("valid session");
 //! assert!(outcome.error <= 0.05);
 //! ```
-//!
-//! The pre-trait entry point, [`run_method`], survives as a thin
-//! deprecated shim over the session API with identical results.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -64,14 +61,12 @@ mod greedy;
 mod hedals;
 mod optimizers;
 
-use std::time::Instant;
-
 pub use genetic::{genetic_depth, genetic_depth_session, GeneticConfig};
 pub use greedy::{greedy_area, greedy_area_session, GreedyConfig};
 pub use hedals::{depth_driven, depth_driven_session, HedalsConfig};
 pub use optimizers::{Genetic, Greedy, Hedals};
 
-use tdals_core::api::{Dcgwo, Flow, Optimizer};
+use tdals_core::api::{Dcgwo, Optimizer};
 use tdals_core::{ChaseStrategy, EvalContext, IterationStats, OptimizerConfig};
 use tdals_netlist::Netlist;
 
@@ -243,59 +238,6 @@ impl MethodConfig {
     }
 }
 
-/// Outcome of one method run, post-optimization included.
-#[derive(Debug, Clone)]
-pub struct MethodResult {
-    /// Final approximate netlist.
-    pub netlist: Netlist,
-    /// `Ratio_cpd = CPD_fac / CPD_ori`.
-    pub ratio_cpd: f64,
-    /// Final CPD in ps.
-    pub cpd_fac: f64,
-    /// Final measured error.
-    pub error: f64,
-    /// Final live area in µm².
-    pub area: f64,
-    /// Wall-clock runtime in seconds (optimization + post-opt).
-    pub runtime_s: f64,
-}
-
-/// Runs one method end-to-end: optimization, then the shared
-/// post-optimization under `area_con` (defaults to the accurate
-/// circuit's area when `None`), per the paper's evaluation protocol.
-///
-/// Deprecated shim over the session API; it delegates to
-/// [`tdals_core::api::Flow`] through [`Method::optimizer`] with an
-/// unlimited budget, so results are identical to the builder path for
-/// the same configuration.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the session API: Flow::for_context(&ctx).error_bound(b).optimizer(method.optimizer(&cfg)).run()"
-)]
-pub fn run_method(
-    ctx: &EvalContext,
-    method: Method,
-    error_bound: f64,
-    area_con: Option<f64>,
-    cfg: &MethodConfig,
-) -> MethodResult {
-    let start = Instant::now();
-    let outcome = Flow::for_context(ctx)
-        .error_bound(error_bound)
-        .area_constraint(area_con)
-        .optimizer(method.optimizer(cfg))
-        .run()
-        .unwrap_or_else(|e| panic!("invalid method configuration: {e}"));
-    MethodResult {
-        ratio_cpd: outcome.ratio_cpd,
-        cpd_fac: outcome.cpd_fac,
-        error: outcome.error,
-        area: outcome.area,
-        runtime_s: start.elapsed().as_secs_f64(),
-        netlist: outcome.netlist,
-    }
-}
-
 /// Per-round statistics for the accept-one-LAC-per-round methods when
 /// the round's depth is already known (HEDALS keeps it from the
 /// scoring STA): the working netlist is the round's best, scored with
@@ -338,6 +280,7 @@ pub(crate) fn round_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tdals_core::api::Flow;
     use tdals_netlist::builder::Builder;
     use tdals_netlist::SignalRef;
     use tdals_sim::{ErrorMetric, Patterns};
@@ -360,17 +303,6 @@ mod tests {
         )
     }
 
-    fn run_shim(
-        ctx: &EvalContext,
-        method: Method,
-        bound: f64,
-        area_con: Option<f64>,
-        cfg: &MethodConfig,
-    ) -> MethodResult {
-        #[allow(deprecated)]
-        run_method(ctx, method, bound, area_con, cfg)
-    }
-
     #[test]
     fn all_methods_run_and_respect_constraints() {
         let ctx = ctx();
@@ -381,7 +313,11 @@ mod tests {
             .with_seed(3);
         let bound = 0.03;
         for method in ALL_METHODS {
-            let result = run_shim(&ctx, method, bound, None, &cfg);
+            let result = Flow::for_context(&ctx)
+                .error_bound(bound)
+                .optimizer(method.optimizer(&cfg))
+                .run()
+                .expect("valid session");
             assert!(
                 result.error <= bound + 1e-12,
                 "{method} violates the error bound: {}",
@@ -393,29 +329,6 @@ mod tests {
             );
             assert!(result.ratio_cpd <= 1.0 + 1e-9, "{method} made timing worse");
             result.netlist.check_invariants().expect("valid netlist");
-        }
-    }
-
-    #[test]
-    fn shim_matches_session_api_exactly() {
-        // The deprecated run_method and the builder path must agree on
-        // the final netlist for every method on a pinned seed.
-        let ctx = ctx();
-        let cfg = MethodConfig::default()
-            .with_population(8)
-            .with_iterations(4)
-            .with_level_we(0.2)
-            .with_seed(11);
-        for method in ALL_METHODS {
-            let legacy = run_shim(&ctx, method, 0.03, None, &cfg);
-            let session = Flow::for_context(&ctx)
-                .error_bound(0.03)
-                .optimizer(method.optimizer(&cfg))
-                .run()
-                .expect("valid session");
-            assert_eq!(legacy.netlist, session.netlist, "{method}");
-            assert_eq!(legacy.error, session.error, "{method}");
-            assert_eq!(legacy.cpd_fac, session.cpd_fac, "{method}");
         }
     }
 

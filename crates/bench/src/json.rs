@@ -75,6 +75,68 @@ impl Json {
         }
         Ok(value)
     }
+
+    /// Single-line rendering adaptor for wire framing (no newlines, no
+    /// indentation, `,`/`:` separators without padding). Numbers follow
+    /// the same rule as [`Display`](fmt::Display), so a value printed
+    /// compactly parses back to an equal `Json`.
+    pub fn compact(&self) -> Compact<'_> {
+        Compact(self)
+    }
+
+    /// The compact rendering as an owned `String`.
+    pub fn to_compact(&self) -> String {
+        self.compact().to_string()
+    }
+}
+
+/// Borrowed [`Display`](fmt::Display) wrapper returned by
+/// [`Json::compact`]: the whole value on one line, suitable for
+/// newline-delimited framing.
+#[derive(Debug)]
+pub struct Compact<'a>(&'a Json);
+
+impl fmt::Display for Compact<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(self.0, f)
+    }
+}
+
+fn write_compact(value: &Json, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match value {
+        Json::Null => f.write_str("null"),
+        Json::Bool(b) => write!(f, "{b}"),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                write!(f, "{}", *n as i64)
+            } else {
+                write!(f, "{n}")
+            }
+        }
+        Json::Str(s) => write_string(s, f),
+        Json::Arr(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_compact(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Json::Obj(members) => {
+            f.write_str("{")?;
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_string(k, f)?;
+                f.write_str(":")?;
+                write_compact(v, f)?;
+            }
+            f.write_str("}")
+        }
+    }
 }
 
 impl fmt::Display for Json {
@@ -353,5 +415,25 @@ mod tests {
     fn numbers_print_stably() {
         assert_eq!(Json::Num(3.0).to_string(), "3");
         assert_eq!(Json::Num(0.25).to_string(), "0.25");
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Num(1.0)),
+            ("s".into(), Json::Str("a\n\"b\"".into())),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::Num(0.5), Json::Null, Json::Bool(false)]),
+            ),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let line = doc.to_compact();
+        assert_eq!(
+            line,
+            r#"{"schema":1,"s":"a\n\"b\"","xs":[0.5,null,false],"empty":{}}"#
+        );
+        assert!(!line.contains('\n'));
+        assert_eq!(Json::parse(&line).expect("parse"), doc);
     }
 }

@@ -159,6 +159,34 @@ impl fmt::Display for StopReason {
     }
 }
 
+impl StopReason {
+    /// Stable kebab-case tag used on the wire (results files, event
+    /// frames). Unlike [`Display`](fmt::Display), which is prose, this
+    /// tag is a compatibility surface: existing names never change, and
+    /// [`StopReason::parse_wire_name`] accepts exactly this set.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::IterationLimit => "iteration-limit",
+            StopReason::EvaluationLimit => "evaluation-limit",
+            StopReason::DeadlineExpired => "deadline-expired",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`StopReason::wire_name`]; `None` for unknown tags.
+    pub fn parse_wire_name(tag: &str) -> Option<StopReason> {
+        Some(match tag {
+            "completed" => StopReason::Completed,
+            "iteration-limit" => StopReason::IterationLimit,
+            "evaluation-limit" => StopReason::EvaluationLimit,
+            "deadline-expired" => StopReason::DeadlineExpired,
+            "cancelled" => StopReason::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
 /// Cooperative cancellation flag shared between a running flow and the
 /// code that wants to stop it.
 ///
@@ -429,6 +457,25 @@ pub enum FlowEvent {
         /// Wall-clock runtime, seconds.
         runtime_s: f64,
     },
+}
+
+impl FlowEvent {
+    /// Stable kebab-case discriminant used as the `kind` field of wire
+    /// frames. A compatibility surface like [`StopReason::wire_name`]:
+    /// existing tags never change; new variants get new tags.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlowEvent::FlowStarted { .. } => "flow-started",
+            FlowEvent::IterationStarted { .. } => "iteration-started",
+            FlowEvent::BestImproved { .. } => "best-improved",
+            FlowEvent::LacAccepted { .. } => "lac-accepted",
+            FlowEvent::IterationFinished { .. } => "iteration-finished",
+            FlowEvent::OptimizeFinished { .. } => "optimize-finished",
+            FlowEvent::PostOptStarted { .. } => "post-opt-started",
+            FlowEvent::PostOptFinished { .. } => "post-opt-finished",
+            FlowEvent::FlowFinished { .. } => "flow-finished",
+        }
+    }
 }
 
 /// Receives [`FlowEvent`]s from a running flow.
@@ -1007,6 +1054,49 @@ mod tests {
         assert_eq!(outcome.stop(), StopReason::Completed);
         assert!(outcome.optimize.evaluations > 0);
         outcome.netlist.check_invariants().expect("valid netlist");
+    }
+
+    #[test]
+    fn flow_under_nmed() {
+        let n = adder();
+        let outcome = Flow::for_netlist(&n)
+            .metric(ErrorMetric::Nmed)
+            .error_bound(0.02)
+            .vectors(1024)
+            .optimizer(Dcgwo::paper_for(ErrorMetric::Nmed).quick(8, 6))
+            .run()
+            .expect("valid session");
+        assert!(outcome.error <= 0.02 + 1e-12);
+        assert!(outcome.ratio_cpd <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_chase_flow_runs() {
+        let n = adder();
+        let outcome = Flow::for_netlist(&n)
+            .error_bound(0.08)
+            .vectors(1024)
+            .optimizer(Dcgwo::single_chase().quick(8, 6))
+            .run()
+            .expect("valid session");
+        assert!(outcome.error <= 0.08 + 1e-12);
+    }
+
+    #[test]
+    fn stop_reason_wire_names_round_trip() {
+        for reason in [
+            StopReason::Completed,
+            StopReason::IterationLimit,
+            StopReason::EvaluationLimit,
+            StopReason::DeadlineExpired,
+            StopReason::Cancelled,
+        ] {
+            assert_eq!(
+                StopReason::parse_wire_name(reason.wire_name()),
+                Some(reason)
+            );
+        }
+        assert_eq!(StopReason::parse_wire_name("iteration limit"), None);
     }
 
     #[test]

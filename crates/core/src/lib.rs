@@ -50,7 +50,6 @@
 pub mod api;
 mod dcgwo;
 mod fitness;
-mod flow;
 mod lac;
 pub mod par;
 pub mod pareto;
@@ -67,8 +66,6 @@ pub use dcgwo::{
     optimize, optimize_session, ChaseStrategy, IterationStats, OptimizerConfig, OptimizerResult,
 };
 pub use fitness::{Candidate, DeltaEval, EvalContext, LacScore};
-#[allow(deprecated)]
-pub use flow::{run_flow, FlowConfig, FlowResult};
 pub use lac::{collect_targets, random_lac, select_switch, Lac};
 pub use postopt::{post_optimize, PostOptConfig, PostOptReport};
 pub use reproduce::{reproduce, LevelWeights};

@@ -266,13 +266,8 @@ impl FlowJob {
         members.push(("iterations".into(), Json::Num(self.iterations as f64)));
         members.push(("vectors".into(), Json::Num(self.vectors as f64)));
         // Seeds are the determinism anchor, so they must survive the
-        // round-trip exactly; JSON numbers are f64 and lose integer
-        // precision past 2^53, so bigger seeds travel as strings.
-        if self.seed <= MAX_EXACT_JSON_INT {
-            members.push(("seed".into(), Json::Num(self.seed as f64)));
-        } else {
-            members.push(("seed".into(), Json::Str(self.seed.to_string())));
-        }
+        // round-trip exactly; big ones travel as strings (`u64_to_json`).
+        members.push(("seed".into(), u64_to_json(self.seed)));
         members.push(("priority".into(), Json::Num(f64::from(self.priority))));
         if let Some(threads) = self.threads {
             members.push(("threads".into(), Json::Num(threads as f64)));
@@ -284,13 +279,7 @@ impl FlowJob {
             members.push(("max_iterations".into(), Json::Num(n as f64)));
         }
         if let Some(n) = self.budget.max_evaluations {
-            // Same u64 precision rule as `seed`: big values travel as
-            // strings so the round-trip is exact.
-            if n <= MAX_EXACT_JSON_INT {
-                members.push(("max_evaluations".into(), Json::Num(n as f64)));
-            } else {
-                members.push(("max_evaluations".into(), Json::Str(n.to_string())));
-            }
+            members.push(("max_evaluations".into(), u64_to_json(n)));
         }
         if let Some(d) = self.budget.deadline {
             members.push(("deadline_ms".into(), Json::Num(d.as_millis() as f64)));
@@ -395,7 +384,10 @@ impl FlowJob {
                 job: index,
                 name: metric_str.to_owned(),
             })?;
-        let bound = req_num(value, "bound", index)?;
+        let bound =
+            check_bound(req_num(value, "bound", index)?).map_err(|msg| ManifestError::Shape {
+                what: format!("job {index}: `bound` {msg}"),
+            })?;
 
         let mut job = FlowJob::with_source(name_hint, source);
         if let Some(name) = value.get("name") {
@@ -643,6 +635,70 @@ impl std::error::Error for ManifestError {}
 /// exactly: 2^53.
 const MAX_EXACT_JSON_INT: u64 = 1 << 53;
 
+/// A `u64` as JSON that survives the round-trip exactly: a number up to
+/// 2^53, a decimal string beyond (JSON numbers are f64 and lose integer
+/// precision past that). Used for seeds, evaluation budgets and counts,
+/// and wire-protocol session ids.
+pub(crate) fn u64_to_json(n: u64) -> Json {
+    if n <= MAX_EXACT_JSON_INT {
+        Json::Num(n as f64)
+    } else {
+        Json::Str(n.to_string())
+    }
+}
+
+/// Inverse of [`u64_to_json`]: accepts an exact non-negative integer
+/// number or a decimal string.
+pub(crate) fn u64_from_json(value: &Json) -> Option<u64> {
+    match value {
+        Json::Num(n) => {
+            if n.fract() != 0.0 || !(0.0..=MAX_EXACT_JSON_INT as f64).contains(n) {
+                return None;
+            }
+            Some(*n as u64)
+        }
+        Json::Str(s) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Validates an error bound: finite and in `[0, 1]` (both ER and NMED
+/// are normalized). The one rule both front ends use — the CLI `--bound`
+/// flag and [`FlowJob::from_json`] both call this, so the wording and
+/// the accepted range cannot drift between them.
+///
+/// # Errors
+///
+/// A human-readable message (no flag/field prefix — the caller adds its
+/// own context).
+pub fn check_bound(bound: f64) -> Result<f64, String> {
+    // `contains` rejects NaN too: NaN compares false against both ends.
+    if !(0.0..=1.0).contains(&bound) {
+        return Err(format!(
+            "{bound} is out of range (error bounds are in [0, 1])"
+        ));
+    }
+    Ok(bound)
+}
+
+/// Parses a worker count: a positive integer. Shared by every CLI
+/// worker-count flag (`--threads`, `--total-threads`, …) so the typed
+/// error wording cannot drift between them.
+///
+/// # Errors
+///
+/// A human-readable message (no flag/field prefix — the caller adds its
+/// own context).
+pub fn parse_worker_count(raw: &str) -> Result<usize, String> {
+    let n: usize = raw
+        .parse()
+        .map_err(|_| format!("`{raw}` is not a number (expected a worker count like 4)"))?;
+    if n == 0 {
+        return Err("0 workers cannot run anything; pass 1 or more".into());
+    }
+    Ok(n)
+}
+
 fn json_uint(value: &Json) -> Option<usize> {
     let n = value.as_f64()?;
     if n.fract() != 0.0 || !(0.0..=MAX_EXACT_JSON_INT as f64).contains(&n) {
@@ -693,21 +749,26 @@ pub fn session_record(
     job: &FlowJob,
     result: &Result<FlowOutcome, SessionError>,
 ) -> Json {
+    let mut members: Vec<(String, Json)> = vec![("job".into(), Json::Num(index as f64))];
+    members.extend(session_record_fields(job, result));
+    Json::Obj(members)
+}
+
+/// The body of a [`session_record`] minus the leading `job` index: what
+/// the daemon ships over the wire, so a client that knows its own
+/// submission order can prepend the index and reassemble a document
+/// byte-identical to `serve-batch`'s.
+pub fn session_record_fields(
+    job: &FlowJob,
+    result: &Result<FlowOutcome, SessionError>,
+) -> Vec<(String, Json)> {
     let mut members: Vec<(String, Json)> = vec![
-        ("job".into(), Json::Num(index as f64)),
         ("name".into(), Json::Str(job.name.clone())),
         ("circuit".into(), Json::Str(job.circuit_label())),
         ("method".into(), Json::Str(job.method.cli_name().into())),
         ("metric".into(), Json::Str(job.metric.cli_name().into())),
         ("bound".into(), Json::Num(job.bound)),
-        (
-            "seed".into(),
-            if job.seed <= MAX_EXACT_JSON_INT {
-                Json::Num(job.seed as f64)
-            } else {
-                Json::Str(job.seed.to_string())
-            },
-        ),
+        ("seed".into(), u64_to_json(job.seed)),
     ];
     match result {
         Ok(outcome) => {
@@ -743,24 +804,28 @@ pub fn session_record(
             members.push(("failure".into(), Json::Str(message.clone())));
         }
     }
-    Json::Obj(members)
+    members
 }
 
 /// The whole batch's results as one JSON document, in submission order.
 pub fn results_document<'a>(
     entries: impl IntoIterator<Item = (&'a FlowJob, &'a Result<FlowOutcome, SessionError>)>,
 ) -> Json {
+    results_document_from_records(
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (job, result))| session_record(i, job, result))
+            .collect(),
+    )
+}
+
+/// Wraps pre-built [`session_record`]s (each already carrying its `job`
+/// index) in the schema-1 results document. The daemon client uses this
+/// to reassemble results collected over the wire.
+pub fn results_document_from_records(records: Vec<Json>) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::Num(1.0)),
-        (
-            "results".into(),
-            Json::Arr(
-                entries
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (job, result))| session_record(i, job, result))
-                    .collect(),
-            ),
-        ),
+        ("results".into(), Json::Arr(records)),
     ])
 }

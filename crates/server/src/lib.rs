@@ -36,11 +36,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod daemon;
 pub mod job;
+pub mod protocol;
 pub mod scheduler;
 
+pub use daemon::{connect, Daemon, DaemonConfig, Listener, Stream};
 pub use job::{
-    results_document, session_record, FlowJob, JobBudget, JobSource, Manifest, ManifestError,
+    check_bound, parse_worker_count, results_document, results_document_from_records,
+    session_record, session_record_fields, FlowJob, JobBudget, JobSource, Manifest, ManifestError,
+};
+pub use protocol::{
+    as_error, error_frame, event_from_json, event_to_json, read_frame, write_frame, Connection,
+    ErrorCode, FrameError, Request, DEFAULT_MAX_FRAME_LEN, PROTOCOL_SCHEMA,
 };
 pub use scheduler::{
     Scheduler, SchedulerConfig, ServerError, SessionError, SessionHandle, SessionStatus,

@@ -197,7 +197,11 @@ impl SessionShared {
 }
 
 /// One tenant's view of its submitted session: `status` / `poll_events`
-/// / `cancel` / `result`, fully isolated from every co-tenant.
+/// / `cancel` / `result`, fully isolated from every co-tenant. Cloning
+/// yields another handle to the same session (the daemon clones one per
+/// blocked waiter); clones share the one event buffer, so each event is
+/// delivered to exactly one [`SessionHandle::poll_events`] caller.
+#[derive(Clone)]
 pub struct SessionHandle {
     shared: Arc<SessionShared>,
     index: usize,

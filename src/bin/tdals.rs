@@ -8,6 +8,10 @@
 //! * `serve-batch` — run a JSON manifest of jobs as concurrent
 //!   sessions over one shared worker pool and write a deterministic
 //!   results file;
+//! * `serve`  — the same serving layer as a long-lived daemon speaking
+//!   the versioned frame protocol over TCP or a unix socket;
+//! * `submit` — client for `serve`: submit a manifest, stream events,
+//!   reassemble a results file byte-identical to `serve-batch`'s;
 //! * `report` — static timing + statistics report for a netlist;
 //! * `bench`  — emit one of the paper's regenerated benchmarks as
 //!   Verilog;
@@ -20,6 +24,8 @@
 //! tdals flow --input adder16.v --metric nmed --bound 0.0244 --output approx.v
 //! tdals flow --input bench:Max16 --metric nmed --bound 0.0244 --method hedals --progress
 //! tdals serve-batch --manifest jobs.json --total-threads 4 --out results.json
+//! tdals serve --listen 127.0.0.1:7171 --total-threads 4
+//! tdals submit --connect 127.0.0.1:7171 --manifest jobs.json --out results.json --shutdown
 //! tdals report --input approx.v
 //! tdals lint --input approx.v --deny warnings --json
 //! ```
@@ -27,15 +33,18 @@
 use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use tdals::baselines::{Method, MethodConfig};
+use tdals::baselines::Method;
 use tdals::circuits::{Benchmark, ALL_BENCHMARKS};
-use tdals::core::api::{Flow, FlowEvent, FlowOutcome};
-use tdals::core::EvalContext;
+use tdals::core::api::{FlowEvent, FlowOutcome, FnObserver};
 use tdals::netlist::{verilog, Netlist};
-use tdals::server::{results_document, Manifest, Scheduler, SchedulerConfig, SessionError};
-use tdals::sim::{ErrorMetric, Patterns};
+use tdals::server::{
+    as_error, check_bound, connect, event_to_json, parse_worker_count, results_document,
+    results_document_from_records, Connection, Daemon, DaemonConfig, FlowJob, Listener, Manifest,
+    Request, Scheduler, SchedulerConfig, SessionError, Stream, PROTOCOL_SCHEMA,
+};
+use tdals::sim::ErrorMetric;
 use tdals::sta::{analyze, critical_path, TimingConfig};
 use tdals_bench::json::Json;
 
@@ -78,6 +87,11 @@ const USAGE: &str = "usage:
                [--area-con <µm²>] [--seed <n>] [--threads <n>] [--progress]
   tdals serve-batch --manifest <jobs.json> [--out <results.json>]
                [--total-threads <n>] [--session-threads <n>] [--progress]
+  tdals serve  --listen <host:port | socket-path> [--total-threads <n>]
+               [--session-threads <n>] [--max-sessions <n>] [--tenant-quota <n>]
+  tdals submit --connect <host:port | socket-path> [--manifest <jobs.json>]
+               [--out <results.json>] [--tenant <name>] [--progress]
+               [--drain] [--shutdown]
   tdals report --input <file.v | bench:NAME>
   tdals bench  --name <NAME> [--output <file.v>]
   tdals lint   --input <file.v | bench:NAME> [--deny warnings] [--json]
@@ -85,7 +99,7 @@ const USAGE: &str = "usage:
   tdals list";
 
 /// Options that are flags (present/absent, no value).
-const FLAGS: [&str; 2] = ["progress", "json"];
+const FLAGS: [&str; 4] = ["progress", "json", "drain", "shutdown"];
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = args.split_first() else {
@@ -95,6 +109,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
     match command.as_str() {
         "flow" => cmd_flow(&opts),
         "serve-batch" => cmd_serve_batch(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
         "report" => cmd_report(&opts),
         "bench" => cmd_bench(&opts),
         "lint" => cmd_lint(&opts),
@@ -166,32 +182,24 @@ fn parse_num<T: std::str::FromStr>(
     }
 }
 
-/// Parses and validates `--threads`: a positive integer worker count.
-/// Absent means one worker per available core; results are
-/// bit-identical whatever the count, so the flag only trades wall-clock
-/// for cores. `0` and non-numeric values are rejected with a typed run
-/// error (a structurally valid command line never earns a usage dump).
+/// Parses and validates `--threads`: a positive integer worker count
+/// (the shared [`parse_worker_count`] rule, so the wording matches
+/// every other front end). Absent means one worker per available core;
+/// results are bit-identical whatever the count, so the flag only
+/// trades wall-clock for cores. `0` and non-numeric values are rejected
+/// with a typed run error (a structurally valid command line never
+/// earns a usage dump).
 fn parse_threads(opts: &HashMap<String, String>) -> Result<usize, CliError> {
     let Some(raw) = opts.get("threads") else {
         return Ok(tdals::core::par::available_threads());
     };
-    let threads: usize = raw.parse().map_err(|_| {
-        CliError::run(format!(
-            "--threads: `{raw}` is not a number (expected a worker count like 4)"
-        ))
-    })?;
-    if threads == 0 {
-        return Err(CliError::run(
-            "--threads: 0 workers cannot evaluate anything; pass 1 or more \
-             (omit the flag to use every available core)",
-        ));
-    }
-    Ok(threads)
+    parse_worker_count(raw).map_err(|msg| CliError::run(format!("--threads: {msg}")))
 }
 
-/// Parses and validates `--bound`: a finite number in `[0, 1]` (both ER
-/// and NMED are normalized), rejecting NaN, negatives, and values
-/// above 1 up front instead of letting them reach the optimizer.
+/// Parses and validates `--bound` via the shared [`check_bound`] rule —
+/// the same range (and wording) the manifest parser enforces, rejecting
+/// NaN, negatives, and values above 1 up front instead of letting them
+/// reach the optimizer.
 fn parse_bound(opts: &HashMap<String, String>) -> Result<f64, CliError> {
     let raw = opts
         .get("bound")
@@ -199,17 +207,26 @@ fn parse_bound(opts: &HashMap<String, String>) -> Result<f64, CliError> {
     let bound: f64 = raw
         .parse()
         .map_err(|_| CliError::run(format!("--bound: `{raw}` is not a number")))?;
-    // `contains` rejects NaN too: NaN compares false against both ends.
-    if !(0.0..=1.0).contains(&bound) {
-        return Err(CliError::run(format!(
-            "--bound: {raw} is out of range (error bounds are in [0, 1])"
-        )));
-    }
-    Ok(bound)
+    check_bound(bound).map_err(|msg| CliError::run(format!("--bound: {msg}")))
 }
 
 fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
-    let accurate = load_input(opts)?;
+    // The CLI is a thin shell over the same FlowJob the manifest format
+    // and the daemon admit, so defaults and validation cannot drift
+    // between the front ends.
+    let input = opts
+        .get("input")
+        .ok_or_else(|| CliError::Usage("--input is required".into()))?;
+    let base = if let Some(name) = input.strip_prefix("bench:") {
+        FlowJob::benchmark(benchmark_by_name(name)?)
+    } else {
+        let text = fs::read_to_string(input)
+            .map_err(|e| CliError::run(format!("reading {input}: {e}")))?;
+        // Parse now: `flow` reports a broken file up front, not as a
+        // session failure mid-run.
+        verilog::parse(&text).map_err(|e| CliError::run(format!("parsing {input}: {e}")))?;
+        FlowJob::verilog(input.clone(), text)
+    };
     let metric = match opts.get("metric") {
         // A bad value on a structurally valid command line is a run
         // error, like `--bound` and `--method`; only a missing option
@@ -226,18 +243,7 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
             Method::parse(name).ok_or_else(|| CliError::run(format!("unknown method `{name}`")))?
         }
     };
-    let vectors = parse_num(opts, "vectors", 4096usize)?;
-    let seed = parse_num(opts, "seed", 1u64)?;
     let threads = parse_threads(opts)?;
-    let cfg = MethodConfig::default()
-        .with_population(parse_num(opts, "population", 30usize)?)
-        .with_iterations(parse_num(opts, "iterations", 20usize)?)
-        .with_level_we(tdals::core::OptimizerConfig::paper_level_we(metric))
-        .with_seed(seed)
-        .with_threads(threads);
-
-    let patterns = Patterns::random(accurate.input_count(), vectors, seed);
-    let ctx = EvalContext::new(&accurate, patterns, metric, TimingConfig::default(), 0.8);
     let area_con = match opts.get("area-con") {
         Some(v) => Some(
             v.parse::<f64>()
@@ -247,25 +253,42 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
     };
     let progress = opts.contains_key("progress");
 
-    eprintln!(
-        "flow: {} gates, CPD_ori {:.2} ps, Area_ori {:.2} µm², method {}, {} worker{}",
-        accurate.logic_gate_count(),
-        ctx.cpd_ori(),
-        ctx.area_ori(),
-        method.label(),
-        threads,
-        if threads == 1 { "" } else { "s" }
-    );
-    let result = Flow::for_context(&ctx)
-        .error_bound(bound)
-        .area_constraint(area_con)
-        .optimizer(method.optimizer(&cfg))
-        .observe(move |ev: &FlowEvent| {
-            if progress {
-                print_progress("", ev);
-            }
-        })
-        .run()
+    // Flag defaults are read *from the job*, so the CLI's defaults are
+    // the manifest format's by construction.
+    let job = base
+        .clone()
+        .with_metric(metric)
+        .with_bound(bound)
+        .with_method(method)
+        .with_scale(
+            parse_num(opts, "population", base.population)?,
+            parse_num(opts, "iterations", base.iterations)?,
+        )
+        .with_vectors(parse_num(opts, "vectors", base.vectors)?)
+        .with_seed(parse_num(opts, "seed", base.seed)?)
+        .with_area_con(area_con);
+
+    let label = method.label();
+    let mut obs = FnObserver(move |ev: &FlowEvent| {
+        if let FlowEvent::FlowStarted {
+            gates,
+            cpd_ori,
+            area_ori,
+            ..
+        } = ev
+        {
+            eprintln!(
+                "flow: {gates} gates, CPD_ori {cpd_ori:.2} ps, Area_ori {area_ori:.2} µm², \
+                 method {label}, {threads} worker{}",
+                if threads == 1 { "" } else { "s" }
+            );
+        }
+        if progress {
+            print_progress("", ev);
+        }
+    });
+    let result = job
+        .run_with(threads, job.budget.to_budget(), &mut obs)
         .map_err(|e| CliError::run(e.to_string()))?;
     eprintln!(
         "done: Ratio_cpd {:.4}, CPD_fac {:.2} ps, error {:.5}, area {:.2} µm², {:.1}s ({})",
@@ -279,9 +302,10 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
     write_output(opts, &result.netlist)
 }
 
-/// Renders streaming flow events for `--progress` (stderr, so piped
-/// Verilog output stays clean). `prefix` tags the session in
-/// `serve-batch`'s interleaved stream; `flow` passes "".
+/// Renders streaming flow events for `flow --progress`, human-readable
+/// (stderr, so piped Verilog output stays clean). The serving commands
+/// (`serve-batch`, `submit`) stream the machine-readable wire frames
+/// instead — see [`print_event_frame`].
 fn print_progress(prefix: &str, ev: &FlowEvent) {
     match ev {
         FlowEvent::FlowStarted {
@@ -328,23 +352,17 @@ fn print_progress(prefix: &str, ev: &FlowEvent) {
     }
 }
 
-/// Parses an optional positive worker-count option (`--total-threads`,
-/// `--session-threads`): same typed-error contract as `--threads`.
+/// Parses an optional positive count option (`--total-threads`,
+/// `--session-threads`, `--max-sessions`, `--tenant-quota`): the shared
+/// [`parse_worker_count`] rule with the flag name prefixed, so the
+/// typed-error contract matches `--threads`.
 fn parse_positive(opts: &HashMap<String, String>, key: &str) -> Result<Option<usize>, CliError> {
     let Some(raw) = opts.get(key) else {
         return Ok(None);
     };
-    let n: usize = raw.parse().map_err(|_| {
-        CliError::run(format!(
-            "--{key}: `{raw}` is not a number (expected a worker count like 4)"
-        ))
-    })?;
-    if n == 0 {
-        return Err(CliError::run(format!(
-            "--{key}: 0 workers cannot run anything; pass 1 or more"
-        )));
-    }
-    Ok(Some(n))
+    parse_worker_count(raw)
+        .map(Some)
+        .map_err(|msg| CliError::run(format!("--{key}: {msg}")))
 }
 
 fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
@@ -423,9 +441,8 @@ fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
         for (i, handle) in handles.iter().enumerate() {
             let events = handle.poll_events();
             if progress {
-                let tag = format!("[{i}:{}] ", handle.name());
                 for ev in &events {
-                    print_progress(&tag, ev);
+                    print_event_frame(i, handle.name(), event_to_json(ev));
                 }
             }
             if results[i].is_none() {
@@ -446,9 +463,8 @@ fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
     for (i, handle) in handles.iter().enumerate() {
         let events = handle.poll_events();
         if progress {
-            let tag = format!("[{i}:{}] ", handle.name());
             for ev in &events {
-                print_progress(&tag, ev);
+                print_event_frame(i, handle.name(), event_to_json(ev));
             }
         }
     }
@@ -475,6 +491,250 @@ fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
         "serve-batch done: {completed} completed, {failed} failed of {} job(s)",
         results.len()
     );
+    if failed > 0 {
+        return Err(CliError::run(format!(
+            "{failed} job(s) did not complete (see the results file)"
+        )));
+    }
+    Ok(())
+}
+
+/// Prints one `--progress` line for the serving commands: a compact
+/// wire frame tagging the session's local submission index and name,
+/// with the event in the protocol's own encoding. `serve-batch` and
+/// `submit` share this renderer, so their progress streams for the same
+/// manifest are line-for-line comparable.
+fn print_event_frame(session: usize, name: &str, event: Json) {
+    let frame = Json::Obj(vec![
+        ("schema".into(), Json::Num(PROTOCOL_SCHEMA as f64)),
+        ("session".into(), Json::Num(session as f64)),
+        ("name".into(), Json::Str(name.into())),
+        ("event".into(), event),
+    ]);
+    eprintln!("{}", frame.compact());
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let listen = opts
+        .get("listen")
+        .ok_or_else(|| CliError::Usage("--listen is required".into()))?;
+    let total = parse_positive(opts, "total-threads")?
+        .unwrap_or_else(tdals::core::par::available_threads)
+        .max(1);
+    let mut config = DaemonConfig::new(total);
+    if let Some(cap) = parse_positive(opts, "session-threads")? {
+        config = config.with_session_cap(cap);
+    }
+    if let Some(n) = parse_positive(opts, "max-sessions")? {
+        config = config.with_max_sessions(n);
+    }
+    if let Some(quota) = parse_positive(opts, "tenant-quota")? {
+        config = config.with_tenant_quota(quota);
+    }
+    let daemon = Daemon::new(config).map_err(|e| CliError::run(e.to_string()))?;
+    let listener =
+        Listener::bind(listen).map_err(|e| CliError::run(format!("binding {listen}: {e}")))?;
+    eprintln!(
+        "serve: listening on {} with {total} worker slot(s)",
+        listener.local_spec()
+    );
+    daemon
+        .serve(listener)
+        .map_err(|e| CliError::run(format!("serving on {listen}: {e}")))?;
+    eprintln!("serve: shut down");
+    Ok(())
+}
+
+/// Dials the daemon, retrying for a few seconds: `submit` is routinely
+/// raced against a `serve` that is still binding its socket (the CI
+/// soak job does exactly that).
+fn connect_with_retry(spec: &str) -> Result<Stream, CliError> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match connect(spec) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(CliError::run(format!("connecting to {spec}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Sends one request frame and reads the daemon's reply, turning error
+/// frames into typed run errors.
+fn roundtrip(conn: &mut Connection<Stream>, request: &Request) -> Result<Json, CliError> {
+    conn.send(&request.to_json())
+        .map_err(|e| CliError::run(format!("sending to daemon: {e}")))?;
+    let frame = match conn.receive() {
+        Ok(Some(frame)) => frame,
+        Ok(None) => return Err(CliError::run("daemon closed the connection")),
+        Err(e) => return Err(CliError::run(format!("reading from daemon: {e}"))),
+    };
+    if let Some((code, message)) = as_error(&frame) {
+        return Err(CliError::run(format!("daemon: {code}: {message}")));
+    }
+    Ok(frame)
+}
+
+fn reply_session_id(frame: &Json) -> Result<u64, CliError> {
+    frame
+        .get("session")
+        .and_then(Json::as_f64)
+        .map(|n| n as u64)
+        .ok_or_else(|| CliError::run("daemon reply is missing `session`"))
+}
+
+fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let spec = opts
+        .get("connect")
+        .ok_or_else(|| CliError::Usage("--connect is required".into()))?;
+    let drain = opts.contains_key("drain");
+    let shutdown = opts.contains_key("shutdown");
+    let manifest_path = opts.get("manifest");
+    if manifest_path.is_none() && !drain && !shutdown {
+        return Err(CliError::Usage(
+            "--manifest is required (or pass --drain / --shutdown)".into(),
+        ));
+    }
+    let tenant = opts.get("tenant").cloned();
+    let progress = opts.contains_key("progress");
+
+    // Parse (and resolve circuit files to inline Verilog) before
+    // dialing: a broken manifest never opens a socket, and the daemon
+    // itself reads no files.
+    let jobs: Vec<FlowJob> = match manifest_path {
+        None => Vec::new(),
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| CliError::run(format!("reading {path}: {e}")))?;
+            Manifest::parse(&text, &|p| fs::read_to_string(p).map_err(|e| e.to_string()))
+                .map_err(|e| CliError::run(e.to_string()))?
+                .jobs
+        }
+    };
+
+    let mut conn = Connection::new(connect_with_retry(spec)?);
+
+    let mut sessions: Vec<(u64, String)> = Vec::with_capacity(jobs.len());
+    for job in &jobs {
+        let reply = roundtrip(
+            &mut conn,
+            &Request::Submit {
+                job: job.clone(),
+                tenant: tenant.clone(),
+            },
+        )?;
+        sessions.push((reply_session_id(&reply)?, job.name.clone()));
+    }
+    if !jobs.is_empty() {
+        eprintln!("submit: {} job(s) to {spec}", jobs.len());
+    }
+
+    // Pump events and poll results until every session reports done.
+    // Events drain even without --progress so the daemon's buffers stay
+    // flat over long batches.
+    let mut records: Vec<Option<Json>> = vec![None; sessions.len()];
+    let mut statuses: Vec<Option<String>> = vec![None; sessions.len()];
+    loop {
+        let mut pending = false;
+        for (i, (id, name)) in sessions.iter().enumerate() {
+            if records[i].is_some() {
+                continue;
+            }
+            let events = roundtrip(&mut conn, &Request::Events { session: *id })?;
+            if progress {
+                if let Some(Json::Arr(items)) = events.get("events") {
+                    for ev in items {
+                        print_event_frame(i, name, ev.clone());
+                    }
+                }
+            }
+            let reply = roundtrip(
+                &mut conn,
+                &Request::Result {
+                    session: *id,
+                    wait: false,
+                },
+            )?;
+            if reply.get("done") == Some(&Json::Bool(true)) {
+                records[i] = reply.get("record").cloned();
+                statuses[i] = reply
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned);
+                // One more drain: the events that landed between the
+                // last poll and the session finishing.
+                let events = roundtrip(&mut conn, &Request::Events { session: *id })?;
+                if progress {
+                    if let Some(Json::Arr(items)) = events.get("events") {
+                        for ev in items {
+                            print_event_frame(i, name, ev.clone());
+                        }
+                    }
+                }
+            } else {
+                pending = true;
+            }
+        }
+        if !pending {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut failed = 0usize;
+    if !jobs.is_empty() {
+        // The daemon ships each record without its `job` index — the
+        // client knows its own submission order, so prepending it here
+        // reassembles a document byte-identical to `serve-batch`'s.
+        let rows: Vec<Json> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, record)| {
+                let mut members = vec![("job".to_owned(), Json::Num(i as f64))];
+                if let Some(Json::Obj(fields)) = record {
+                    members.extend(fields);
+                }
+                Json::Obj(members)
+            })
+            .collect();
+        let doc = results_document_from_records(rows);
+        let text = format!("{doc}\n");
+        match opts.get("out") {
+            Some(path) => {
+                fs::write(path, &text)
+                    .map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
+                eprintln!("wrote {path}");
+            }
+            None => print!("{text}"),
+        }
+        let completed = statuses
+            .iter()
+            .filter(|s| s.as_deref() == Some("completed"))
+            .count();
+        failed = statuses.len() - completed;
+        eprintln!(
+            "submit done: {completed} completed, {failed} failed of {} job(s)",
+            statuses.len()
+        );
+    }
+
+    if drain || shutdown {
+        let verb = if shutdown {
+            Request::Shutdown
+        } else {
+            Request::Drain
+        };
+        let reply = roundtrip(&mut conn, &verb)?;
+        let count = reply.get("sessions").and_then(Json::as_f64).unwrap_or(0.0);
+        eprintln!(
+            "{}: {count} session(s) settled",
+            if shutdown { "shutdown" } else { "drain" }
+        );
+    }
     if failed > 0 {
         return Err(CliError::run(format!(
             "{failed} job(s) did not complete (see the results file)"

@@ -1,15 +1,14 @@
 //! Integration tests for the unified session API: the shared
 //! `Optimizer` trait across DCGWO and all four baselines, the
 //! observer-event protocol (monotone iterations, guaranteed terminal
-//! event, bounded-latency cancellation), budget enforcement, and the
-//! deprecated shims' exact equivalence with the builder path.
+//! event, bounded-latency cancellation), and budget enforcement.
 
 use std::cell::RefCell;
 
 use proptest::prelude::*;
 use tdals::baselines::{Method, MethodConfig, ALL_METHODS};
 use tdals::circuits::Benchmark;
-use tdals::core::api::{Budget, CancelFlag, Dcgwo, Flow, FlowEvent, FlowOutcome, StopReason};
+use tdals::core::api::{Budget, CancelFlag, Flow, FlowEvent, FlowOutcome, StopReason};
 use tdals::core::EvalContext;
 use tdals::sim::{ErrorMetric, Patterns};
 use tdals::sta::TimingConfig;
@@ -220,47 +219,6 @@ fn iteration_budget_truncates_every_method() {
             outcome.history().len()
         );
         assert!(outcome.error <= 0.05 + 1e-12, "{method}");
-    }
-}
-
-#[test]
-fn shims_match_builder_path_on_pinned_seed() {
-    // Acceptance criterion: old run_flow/run_method produce results
-    // identical to the new path.
-    let accurate = Benchmark::Int2float.build();
-    let mut cfg = tdals::core::FlowConfig::paper_defaults(ErrorMetric::ErrorRate, 0.05);
-    cfg.vectors = 512;
-    cfg.optimizer.population = 6;
-    cfg.optimizer.iterations = 4;
-    cfg.optimizer.seed = 0xABCD;
-    #[allow(deprecated)]
-    let legacy = tdals::core::run_flow(&accurate, &cfg);
-    let session = Flow::for_netlist(&accurate)
-        .metric(cfg.metric)
-        .error_bound(cfg.error_bound)
-        .vectors(cfg.vectors)
-        .pattern_seed(cfg.pattern_seed)
-        .optimizer(Dcgwo::new(cfg.optimizer.clone()))
-        .run()
-        .expect("valid session");
-    assert_eq!(legacy.netlist, session.netlist);
-    assert_eq!(legacy.error, session.error);
-    assert_eq!(legacy.cpd_fac, session.cpd_fac);
-    assert_eq!(legacy.ratio_cpd, session.ratio_cpd);
-
-    let ctx = quick_ctx(17);
-    let mcfg = quick_cfg(0x7777);
-    for method in ALL_METHODS {
-        #[allow(deprecated)]
-        let legacy = tdals::baselines::run_method(&ctx, method, 0.05, None, &mcfg);
-        let session = Flow::for_context(&ctx)
-            .error_bound(0.05)
-            .optimizer(method.optimizer(&mcfg))
-            .run()
-            .expect("valid session");
-        assert_eq!(legacy.netlist, session.netlist, "{method}");
-        assert_eq!(legacy.error, session.error, "{method}");
-        assert_eq!(legacy.cpd_fac, session.cpd_fac, "{method}");
     }
 }
 

@@ -11,12 +11,14 @@ use tdals::core::api::{
     Budget, CancelFlag, Dcgwo, Flow, FlowError, FlowEvent, FlowOutcome, NopObserver, Observer,
     OptimizeOutcome, Optimizer, StopReason,
 };
-use tdals::core::{ChaseStrategy, EvalContext, FlowConfig, OptimizerConfig, PostOptConfig};
+use tdals::core::{ChaseStrategy, EvalContext, OptimizerConfig, PostOptConfig};
 use tdals::netlist::builder::Builder;
 use tdals::netlist::cell::{Cell, CellFunc, Drive};
 use tdals::netlist::{verilog, GateId, Netlist, SignalRef};
 use tdals::server::{
-    FlowJob, JobBudget, Manifest, Scheduler, SchedulerConfig, ServerError, SessionStatus,
+    error_frame, event_from_json, event_to_json, Connection, Daemon, DaemonConfig, ErrorCode,
+    FlowJob, FrameError, JobBudget, Manifest, Request, Scheduler, SchedulerConfig, ServerError,
+    SessionStatus, DEFAULT_MAX_FRAME_LEN, PROTOCOL_SCHEMA,
 };
 use tdals::sim::{simulate, ErrorMetric, Patterns};
 use tdals::sta::{analyze, SizingConfig, TimingConfig};
@@ -71,8 +73,6 @@ fn circuits_surface_resolves() {
 
 #[test]
 fn core_surface_resolves() {
-    let cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.0244);
-    assert_eq!(cfg.error_bound, 0.0244);
     let opt = OptimizerConfig::default();
     assert_eq!(opt.chase, ChaseStrategy::DoubleChase);
     let n = Benchmark::Int2float.build();
@@ -201,31 +201,36 @@ fn server_surface_resolves() {
 }
 
 #[test]
-fn deprecated_shims_still_resolve() {
-    // The pre-session entry points must keep compiling until removal.
-    let accurate = Benchmark::Int2float.build();
-    let mut cfg = FlowConfig::paper_defaults(ErrorMetric::Nmed, 0.02);
-    cfg.vectors = 256;
-    cfg.optimizer.population = 4;
-    cfg.optimizer.iterations = 2;
-    #[allow(deprecated)]
-    let result = tdals::core::run_flow(&accurate, &cfg);
-    assert!(result.error <= 0.02 + 1e-12);
-
-    let ctx = EvalContext::new(
-        &accurate,
-        Patterns::random(accurate.input_count(), 256, 4),
-        ErrorMetric::Nmed,
-        TimingConfig::default(),
-        0.8,
+fn protocol_surface_resolves() {
+    // The daemon's wire layer, end to end through the umbrella: frame a
+    // request, parse it back, run it against a transport-free daemon,
+    // and round-trip a flow event.
+    assert_eq!(PROTOCOL_SCHEMA, 1);
+    let _default_limit: usize = DEFAULT_MAX_FRAME_LEN;
+    assert_eq!(ErrorCode::parse("queue-full"), Some(ErrorCode::QueueFull));
+    let _err: FrameError = FrameError::Truncated { bytes: 3 };
+    let boom = error_frame(ErrorCode::BadRequest, "nope");
+    assert_eq!(
+        tdals::server::as_error(&boom),
+        Some(("bad-request", "nope"))
     );
-    let mcfg = MethodConfig::default()
-        .with_population(4)
-        .with_iterations(2)
-        .with_level_we(0.2);
-    #[allow(deprecated)]
-    let result = tdals::baselines::run_method(&ctx, Method::Hedals, 0.02, None, &mcfg);
-    assert!(result.error <= 0.02 + 1e-12);
+
+    let request = Request::Health;
+    assert_eq!(
+        Request::from_json(&request.to_json()).expect("round-trips"),
+        request
+    );
+
+    let daemon = Daemon::new(DaemonConfig::new(1)).expect("valid config");
+    let reply = daemon.handle(&request.to_json());
+    assert_eq!(reply.get("ok").and_then(|v| v.as_str()), Some("health"));
+
+    let event = FlowEvent::PostOptStarted { area_con: 2.5 };
+    assert_eq!(event_from_json(&event_to_json(&event)).as_ref(), Ok(&event));
+
+    // Connection is generic over any duplex byte stream.
+    let _conn: Connection<std::io::Cursor<Vec<u8>>> =
+        Connection::new(std::io::Cursor::new(Vec::new()));
 }
 
 #[test]

@@ -43,6 +43,28 @@ impl Json {
         }
     }
 
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Exact non-negative integer value, if this is a number that is
+    /// one: no fractional part, no sign, at most 2^53 (the largest
+    /// integer an `f64` — and therefore a JSON number — represents
+    /// exactly). Index-like fields (shard maps, job counts) go through
+    /// this so `1.5`, `-1`, and precision-lossy giants are rejected
+    /// instead of silently truncated.
+    pub fn as_uint(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = (1u64 << 53) as f64;
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && (0.0..MAX_EXACT).contains(n) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
     /// String value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

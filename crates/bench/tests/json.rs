@@ -118,3 +118,28 @@ fn the_committed_baselines_still_parse() {
         );
     }
 }
+
+#[test]
+fn typed_accessors_are_exact_not_lossy() {
+    // as_uint: exact non-negative integers only — fractions, negatives,
+    // and values past 2^53 (where f64 stops being exact) all refuse,
+    // because callers use it to validate schema versions and record
+    // indices where "roughly 1" is a bug.
+    let doc = Json::parse(
+        r#"{"schema": 1, "neg": -1, "frac": 1.5, "big": 9007199254740992,
+            "edge": 9007199254740991, "yes": true, "no": false, "text": "1"}"#,
+    )
+    .expect("valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_uint), Some(1));
+    assert_eq!(doc.get("edge").and_then(Json::as_uint), Some((1 << 53) - 1));
+    assert_eq!(doc.get("neg").and_then(Json::as_uint), None);
+    assert_eq!(doc.get("frac").and_then(Json::as_uint), None);
+    assert_eq!(doc.get("big").and_then(Json::as_uint), None);
+    assert_eq!(doc.get("text").and_then(Json::as_uint), None);
+
+    // as_bool: booleans only, no truthiness.
+    assert_eq!(doc.get("yes").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("no").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("schema").and_then(Json::as_bool), None);
+    assert_eq!(doc.get("text").and_then(Json::as_bool), None);
+}

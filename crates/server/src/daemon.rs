@@ -732,6 +732,100 @@ pub fn connect(spec: &str) -> io::Result<Stream> {
     }
 }
 
+/// Why a dial (with retries) gave up. The variant matters to callers:
+/// `Refused` means nothing was listening — the retryable condition a
+/// daemon that is still binding its socket produces — while `Other`
+/// wraps every error retrying cannot fix (bad address, permission,
+/// unsupported transport).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ConnectError {
+    /// Nothing accepted on the spec after every attempt (TCP
+    /// `ConnectionRefused`, or a unix socket path not created yet).
+    Refused {
+        /// The spec that was dialed.
+        spec: String,
+        /// How many connection attempts were made (retries + 1).
+        attempts: usize,
+        /// The last OS error.
+        error: io::Error,
+    },
+    /// A non-retryable dial error.
+    Other {
+        /// The spec that was dialed.
+        spec: String,
+        /// The OS error.
+        error: io::Error,
+    },
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::Refused {
+                spec,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "connection-refused: nothing is listening on {spec} \
+                 (after {attempts} attempt(s)): {error}"
+            ),
+            ConnectError::Other { spec, error } => write!(f, "connecting to {spec}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// Whether retrying the dial can possibly succeed: the daemon may still
+/// be binding. `NotFound` covers a unix socket whose path does not
+/// exist yet.
+fn dial_retryable(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound
+    )
+}
+
+/// Dials like [`connect`], retrying a refused connection up to
+/// `retries` extra times with bounded backoff (50 ms doubling to a
+/// 1 s ceiling — a fixed schedule, no wall-clock reads, so the retry
+/// loop is determinism-lint clean). `retries == 0` is a single plain
+/// dial with the typed error.
+///
+/// # Errors
+///
+/// [`ConnectError::Refused`] once the attempts are exhausted;
+/// [`ConnectError::Other`] immediately for anything retrying cannot
+/// fix.
+pub fn connect_retry(spec: &str, retries: usize) -> Result<Stream, ConnectError> {
+    let mut attempt = 0usize;
+    loop {
+        match connect(spec) {
+            Ok(stream) => return Ok(stream),
+            Err(error) if !dial_retryable(&error) => {
+                return Err(ConnectError::Other {
+                    spec: spec.to_owned(),
+                    error,
+                })
+            }
+            Err(error) => {
+                if attempt >= retries {
+                    return Err(ConnectError::Refused {
+                        spec: spec.to_owned(),
+                        attempts: attempt + 1,
+                        error,
+                    });
+                }
+                let backoff = 50u64.saturating_mul(1 << attempt.min(5)).min(1000);
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+                attempt += 1;
+            }
+        }
+    }
+}
+
 impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         match self {

@@ -136,6 +136,14 @@ impl FlowJob {
         FlowJob::with_source(name.into(), JobSource::Verilog(text.into()))
     }
 
+    /// Sets the display name. Names identify result records (and shard
+    /// assignments), so [`Manifest::parse`] rejects duplicates — give
+    /// programmatic jobs on the same circuit distinct names.
+    pub fn with_name(mut self, name: impl Into<String>) -> FlowJob {
+        self.name = name.into();
+        self
+    }
+
     /// Sets the optimizer method.
     pub fn with_method(mut self, method: Method) -> FlowJob {
         self.method = method;
@@ -514,15 +522,25 @@ impl Manifest {
                     what: "manifest has no `jobs` array".into(),
                 })?;
         if jobs_json.is_empty() {
-            return Err(ManifestError::Shape {
-                what: "manifest `jobs` array is empty".into(),
-            });
+            return Err(ManifestError::Empty);
         }
         let jobs = jobs_json
             .iter()
             .enumerate()
             .map(|(i, j)| FlowJob::from_json(j, i, read))
             .collect::<Result<Vec<_>, _>>()?;
+        // Names identify result records (and shard-map entries), so a
+        // duplicate would make two records indistinguishable downstream;
+        // reject it at parse time with the colliding indices named.
+        for (second, job) in jobs.iter().enumerate() {
+            if let Some(first) = jobs[..second].iter().position(|j| j.name == job.name) {
+                return Err(ManifestError::DuplicateName {
+                    name: job.name.clone(),
+                    first,
+                    second,
+                });
+            }
+        }
         let total_threads = match doc.get("total_threads") {
             Some(v) => {
                 let n = json_uint(v).ok_or_else(|| ManifestError::Shape {
@@ -543,6 +561,25 @@ impl Manifest {
             jobs,
             total_threads,
         })
+    }
+
+    /// The sub-manifest holding the jobs at `indices`, in the order
+    /// given, with the batch-level defaults carried over. This is the
+    /// shard-split primitive: a shard planner picks index sets, and each
+    /// shard's manifest is `subset` of the original, so a shard job is
+    /// field-for-field the original job and its result record cannot
+    /// differ from the unsharded run's.
+    ///
+    /// Out-of-range indices are skipped (a validated shard map never
+    /// contains any).
+    pub fn subset(&self, indices: &[usize]) -> Manifest {
+        Manifest {
+            jobs: indices
+                .iter()
+                .filter_map(|&i| self.jobs.get(i).cloned())
+                .collect(),
+            total_threads: self.total_threads,
+        }
     }
 
     /// The manifest as a JSON document ([`Manifest::parse`] round-trips
@@ -571,6 +608,19 @@ pub enum ManifestError {
     Shape {
         /// What is wrong, naming the job index and field.
         what: String,
+    },
+    /// The `jobs` array is empty — there is nothing to run, and an
+    /// empty batch would write a results file with zero records.
+    Empty,
+    /// Two jobs share a name. Names identify result records (and shard
+    /// assignments), so duplicates would be ambiguous downstream.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+        /// Manifest index of the first job with the name.
+        first: usize,
+        /// Manifest index of the later duplicate.
+        second: usize,
     },
     /// A job names a method outside the five supported ones.
     UnknownMethod {
@@ -609,6 +659,16 @@ impl std::fmt::Display for ManifestError {
         match self {
             ManifestError::Syntax(e) => write!(f, "manifest is not valid JSON: {e}"),
             ManifestError::Shape { what } => write!(f, "manifest: {what}"),
+            ManifestError::Empty => write!(f, "manifest `jobs` array is empty"),
+            ManifestError::DuplicateName {
+                name,
+                first,
+                second,
+            } => write!(
+                f,
+                "jobs {first} and {second} share the name `{name}`; names identify \
+                 result records, give each job a unique `name`"
+            ),
             ManifestError::UnknownMethod { job, name } => write!(
                 f,
                 "job {job}: unknown method `{name}` (expected dcgwo|gwo|hedals|greedy|vaacs)"

@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod daemon;
 pub mod job;
 pub mod protocol;
 pub mod scheduler;
 
-pub use daemon::{connect, Daemon, DaemonConfig, Listener, Stream};
+pub use batch::{BatchOptions, BatchReport, BatchRun};
+pub use daemon::{connect, connect_retry, ConnectError, Daemon, DaemonConfig, Listener, Stream};
 pub use job::{
     check_bound, parse_worker_count, results_document, results_document_from_records,
     session_record, session_record_fields, FlowJob, JobBudget, JobSource, Manifest, ManifestError,

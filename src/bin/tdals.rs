@@ -8,6 +8,10 @@
 //! * `serve-batch` — run a JSON manifest of jobs as concurrent
 //!   sessions over one shared worker pool and write a deterministic
 //!   results file;
+//! * `shard-batch` — fan the same manifest across N worker processes
+//!   (spawned `serve-batch` children, or running `serve` daemons via
+//!   `--connect`) and merge a results file byte-identical to the
+//!   single-process run;
 //! * `serve`  — the same serving layer as a long-lived daemon speaking
 //!   the versioned frame protocol over TCP or a unix socket;
 //! * `submit` — client for `serve`: submit a manifest, stream events,
@@ -24,6 +28,7 @@
 //! tdals flow --input adder16.v --metric nmed --bound 0.0244 --output approx.v
 //! tdals flow --input bench:Max16 --metric nmed --bound 0.0244 --method hedals --progress
 //! tdals serve-batch --manifest jobs.json --total-threads 4 --out results.json
+//! tdals shard-batch --manifest jobs.json --shards 3 --out results.json
 //! tdals serve --listen 127.0.0.1:7171 --total-threads 4
 //! tdals submit --connect 127.0.0.1:7171 --manifest jobs.json --out results.json --shutdown
 //! tdals report --input approx.v
@@ -33,16 +38,17 @@
 use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use tdals::baselines::Method;
 use tdals::circuits::{Benchmark, ALL_BENCHMARKS};
-use tdals::core::api::{FlowEvent, FlowOutcome, FnObserver};
+use tdals::cluster::{merge, plan, run_children, run_daemons, ShardPolicy, SupervisorOptions};
+use tdals::core::api::{FlowEvent, FnObserver};
 use tdals::netlist::{verilog, Netlist};
 use tdals::server::{
-    as_error, check_bound, connect, event_to_json, parse_worker_count, results_document,
-    results_document_from_records, Connection, Daemon, DaemonConfig, FlowJob, Listener, Manifest,
-    Request, Scheduler, SchedulerConfig, SessionError, Stream, PROTOCOL_SCHEMA,
+    as_error, check_bound, connect_retry, event_to_json, parse_worker_count,
+    results_document_from_records, BatchOptions, BatchRun, Connection, Daemon, DaemonConfig,
+    FlowJob, Listener, Manifest, Request, Stream, PROTOCOL_SCHEMA,
 };
 use tdals::sim::ErrorMetric;
 use tdals::sta::{analyze, critical_path, TimingConfig};
@@ -87,11 +93,16 @@ const USAGE: &str = "usage:
                [--area-con <µm²>] [--seed <n>] [--threads <n>] [--progress]
   tdals serve-batch --manifest <jobs.json> [--out <results.json>]
                [--total-threads <n>] [--session-threads <n>] [--progress]
+  tdals shard-batch --manifest <jobs.json> --shards <n>
+               [--workers serve-batch | --connect <addr,addr,...>]
+               [--policy <round-robin|size-weighted>] [--out <results.json>]
+               [--shard-map <file.json>] [--total-threads <n>] [--timeout <secs>]
+               [--retry <n>] [--progress]
   tdals serve  --listen <host:port | socket-path> [--total-threads <n>]
                [--session-threads <n>] [--max-sessions <n>] [--tenant-quota <n>]
   tdals submit --connect <host:port | socket-path> [--manifest <jobs.json>]
-               [--out <results.json>] [--tenant <name>] [--progress]
-               [--drain] [--shutdown]
+               [--out <results.json>] [--tenant <name>] [--retry <n>]
+               [--progress] [--drain] [--shutdown]
   tdals report --input <file.v | bench:NAME>
   tdals bench  --name <NAME> [--output <file.v>]
   tdals lint   --input <file.v | bench:NAME> [--deny warnings] [--json]
@@ -109,6 +120,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     match command.as_str() {
         "flow" => cmd_flow(&opts),
         "serve-batch" => cmd_serve_batch(&opts),
+        "shard-batch" => cmd_shard_batch(&opts),
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
         "report" => cmd_report(&opts),
@@ -379,107 +391,38 @@ fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
         fs::read_to_string(path).map_err(|e| e.to_string())
     })
     .map_err(|e| CliError::run(e.to_string()))?;
-
-    let total = total_flag
-        .or(manifest.total_threads)
-        .unwrap_or_else(tdals::core::par::available_threads)
-        .max(1);
-    // A manifest job's `threads` is a per-job cap hint: clamp it to the
-    // pool so the same manifest is admissible at every --total-threads
-    // (results are width-invariant, so clamping cannot change them;
-    // `0` stays 0 and is rejected with its typed error below).
-    let mut jobs = manifest.jobs.clone();
-    for job in &mut jobs {
-        if let Some(t) = job.threads {
-            job.threads = Some(t.min(total));
-        }
-    }
-    // Default per-session cap: an even static split across the batch,
-    // so K near-simultaneous submissions cannot race the first session
-    // into the whole pool. Rounded up — the pool's own fair share
-    // arbitrates the remainder — and widened to the largest per-job
-    // `threads` hint so such jobs stay admissible.
-    let concurrency = jobs.len().min(total).max(1);
-    let session_cap = match session_flag {
-        Some(cap) => cap,
-        None => {
-            let hinted = jobs.iter().filter_map(|j| j.threads).max().unwrap_or(1);
-            total.div_ceil(concurrency).max(hinted).min(total)
-        }
-    };
     let progress = opts.contains_key("progress");
 
-    let scheduler = Scheduler::new(SchedulerConfig::new(total).with_session_cap(session_cap))
-        .map_err(|e| CliError::run(e.to_string()))?;
-    // Reject the whole batch before running any of it: a manifest with
-    // one inadmissible job never produces a partial results file.
-    for job in &jobs {
-        scheduler
-            .validate(job)
-            .map_err(|e| CliError::run(e.to_string()))?;
-    }
+    // The engine lives in tdals-server::batch — the same code path each
+    // shard-batch worker process runs, which is what makes a sharded
+    // run's merged results file byte-identical to this one. It
+    // validates the whole batch before running any of it: a manifest
+    // with one inadmissible job never produces a partial results file.
+    let run = BatchRun::prepare(
+        &manifest,
+        &BatchOptions::new()
+            .with_total_threads(total_flag)
+            .with_session_threads(session_flag),
+    )
+    .map_err(|e| CliError::run(e.to_string()))?;
     eprintln!(
-        "serve-batch: {} job(s) over {total} worker slot(s), {session_cap} per session",
-        jobs.len()
+        "serve-batch: {} job(s) over {} worker slot(s), {} per session",
+        run.jobs.len(),
+        run.total_threads,
+        run.session_cap
     );
-
-    let handles = jobs
-        .iter()
-        .cloned()
-        .map(|job| scheduler.submit(job))
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| CliError::run(e.to_string()))?;
 
     // Pump per-session event streams to stderr until every session is
     // done; results land in submission order whatever order they finish.
-    // Events are drained even without --progress so the buffers stay
-    // flat over long batches.
-    let mut results: Vec<Option<Result<FlowOutcome, SessionError>>> = Vec::new();
-    results.resize_with(handles.len(), || None);
-    loop {
-        let mut pending = false;
-        for (i, handle) in handles.iter().enumerate() {
-            let events = handle.poll_events();
+    let report = run
+        .run(&mut |i, name, ev| {
             if progress {
-                for ev in &events {
-                    print_event_frame(i, handle.name(), event_to_json(ev));
-                }
+                print_event_frame(i, name, event_to_json(ev));
             }
-            if results[i].is_none() {
-                match handle.try_result() {
-                    Some(result) => results[i] = Some(result),
-                    None => pending = true,
-                }
-            }
-        }
-        if !pending {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    scheduler.drain();
-    // Final drain: events that landed between the last poll and the
-    // session's completion.
-    for (i, handle) in handles.iter().enumerate() {
-        let events = handle.poll_events();
-        if progress {
-            for ev in &events {
-                print_event_frame(i, handle.name(), event_to_json(ev));
-            }
-        }
-    }
+        })
+        .map_err(|e| CliError::run(e.to_string()))?;
 
-    let results: Vec<Result<FlowOutcome, SessionError>> =
-        results.into_iter().map(|r| r.expect("all done")).collect();
-    let (mut completed, mut failed) = (0usize, 0usize);
-    for result in &results {
-        match result {
-            Ok(_) => completed += 1,
-            Err(_) => failed += 1,
-        }
-    }
-    let doc = results_document(jobs.iter().zip(results.iter()));
-    let text = format!("{doc}\n");
+    let text = format!("{}\n", report.document());
     match opts.get("out") {
         Some(path) => {
             fs::write(path, &text).map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
@@ -488,8 +431,148 @@ fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
         None => print!("{text}"),
     }
     eprintln!(
-        "serve-batch done: {completed} completed, {failed} failed of {} job(s)",
-        results.len()
+        "serve-batch done: {} completed, {} failed of {} job(s)",
+        report.completed,
+        report.failed,
+        report.results.len()
+    );
+    if report.failed > 0 {
+        return Err(CliError::run(format!(
+            "{} job(s) did not complete (see the results file)",
+            report.failed
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_shard_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let manifest_path = opts
+        .get("manifest")
+        .ok_or_else(|| CliError::Usage("--manifest is required".into()))?;
+    // Mode selection: --connect drives running daemons (mode B),
+    // --workers serve-batch (the default) spawns child processes.
+    let connect_specs: Option<Vec<String>> = opts.get("connect").map(|list| {
+        list.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect()
+    });
+    match opts.get("workers").map(String::as_str) {
+        None => {}
+        Some("serve-batch") if connect_specs.is_some() => {
+            return Err(CliError::run(
+                "--workers serve-batch and --connect are mutually exclusive: child \
+                 processes or running daemons, not both",
+            ));
+        }
+        Some("serve-batch") => {}
+        Some(other) => {
+            return Err(CliError::run(format!(
+                "--workers: only `serve-batch` workers can be spawned, got `{other}` \
+                 (use --connect for running daemons)"
+            )));
+        }
+    }
+    let shards = match parse_positive(opts, "shards")? {
+        Some(n) => n,
+        // Mode B has a natural default: one shard per daemon.
+        None => match &connect_specs {
+            Some(specs) if !specs.is_empty() => specs.len(),
+            _ => return Err(CliError::Usage("--shards is required".into())),
+        },
+    };
+    let policy = match opts.get("policy") {
+        None => ShardPolicy::RoundRobin,
+        Some(name) => ShardPolicy::parse(name).ok_or_else(|| {
+            CliError::run(format!(
+                "--policy must be round-robin|size-weighted, got `{name}`"
+            ))
+        })?,
+    };
+    let timeout = parse_positive(opts, "timeout")?.map(|secs| Duration::from_secs(secs as u64));
+    let total_flag = parse_positive(opts, "total-threads")?;
+    let retries = parse_num(opts, "retry", 0usize)?;
+    let progress = opts.contains_key("progress");
+
+    let text = fs::read_to_string(manifest_path)
+        .map_err(|e| CliError::run(format!("reading {manifest_path}: {e}")))?;
+    let manifest = Manifest::parse(&text, &|path| {
+        fs::read_to_string(path).map_err(|e| e.to_string())
+    })
+    .map_err(|e| CliError::run(e.to_string()))?;
+
+    let shard_plan = plan(&manifest, shards, policy).map_err(|e| CliError::run(e.to_string()))?;
+    if let Some(path) = opts.get("shard-map") {
+        let text = format!("{}\n", shard_plan.to_json());
+        fs::write(path, &text).map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+
+    let supervisor = SupervisorOptions::new()
+        .with_timeout(timeout)
+        .with_total_threads(total_flag)
+        .with_retries(retries)
+        .with_progress(progress);
+    let mut on_frame = |frame: &Json| {
+        if progress {
+            eprintln!("{}", frame.compact());
+        }
+    };
+    let docs = match &connect_specs {
+        Some(specs) => {
+            eprintln!(
+                "shard-batch: {} job(s) over {} shard(s) ({} policy), daemons {}",
+                shard_plan.job_count(),
+                shard_plan.shard_count(),
+                policy,
+                specs.join(", ")
+            );
+            run_daemons(&manifest, &shard_plan, specs, &supervisor, &mut on_frame)
+        }
+        None => {
+            // Each worker is this very binary running `serve-batch` on
+            // its shard's sub-manifest.
+            let exe = std::env::current_exe()
+                .map_err(|e| CliError::run(format!("locating the tdals binary: {e}")))?;
+            eprintln!(
+                "shard-batch: {} job(s) over {} shard(s) ({} policy), serve-batch workers",
+                shard_plan.job_count(),
+                shard_plan.shard_count(),
+                policy
+            );
+            run_children(&manifest, &shard_plan, &exe, &supervisor, &mut on_frame)
+        }
+    }
+    .map_err(|e| CliError::run(e.to_string()))?;
+
+    let merged = merge(&shard_plan, &docs).map_err(|e| CliError::run(e.to_string()))?;
+    match opts.get("out") {
+        Some(path) => {
+            fs::write(path, &merged).map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{merged}"),
+    }
+
+    // Same exit contract as serve-batch: failed jobs are *in* the
+    // deterministic results file, and the command exits nonzero.
+    let failed = Json::parse(&merged)
+        .ok()
+        .and_then(|doc| {
+            doc.get("results").and_then(Json::as_array).map(|records| {
+                records
+                    .iter()
+                    .filter(|r| r.get("status").and_then(Json::as_str) != Some("completed"))
+                    .count()
+            })
+        })
+        .unwrap_or(0);
+    eprintln!(
+        "shard-batch done: {} completed, {failed} failed of {} job(s) over {} shard(s)",
+        shard_plan.job_count() - failed,
+        shard_plan.job_count(),
+        shard_plan.shard_count()
     );
     if failed > 0 {
         return Err(CliError::run(format!(
@@ -545,24 +628,6 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Dials the daemon, retrying for a few seconds: `submit` is routinely
-/// raced against a `serve` that is still binding its socket (the CI
-/// soak job does exactly that).
-fn connect_with_retry(spec: &str) -> Result<Stream, CliError> {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        match connect(spec) {
-            Ok(stream) => return Ok(stream),
-            Err(e) => {
-                if Instant::now() >= deadline {
-                    return Err(CliError::run(format!("connecting to {spec}: {e}")));
-                }
-                std::thread::sleep(Duration::from_millis(100));
-            }
-        }
-    }
-}
-
 /// Sends one request frame and reads the daemon's reply, turning error
 /// frames into typed run errors.
 fn roundtrip(conn: &mut Connection<Stream>, request: &Request) -> Result<Json, CliError> {
@@ -601,6 +666,11 @@ fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), CliError> {
     }
     let tenant = opts.get("tenant").cloned();
     let progress = opts.contains_key("progress");
+    // Dial retries are opt-in (default 0): an absent daemon should fail
+    // fast with the typed connection-refused error unless the caller is
+    // deliberately racing a daemon that is still binding its socket
+    // (the CI soak job does exactly that, with a generous --retry).
+    let retries = parse_num(opts, "retry", 0usize)?;
 
     // Parse (and resolve circuit files to inline Verilog) before
     // dialing: a broken manifest never opens a socket, and the daemon
@@ -616,7 +686,8 @@ fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), CliError> {
         }
     };
 
-    let mut conn = Connection::new(connect_with_retry(spec)?);
+    let mut conn =
+        Connection::new(connect_retry(spec, retries).map_err(|e| CliError::run(e.to_string()))?);
 
     let mut sessions: Vec<(u64, String)> = Vec::with_capacity(jobs.len());
     for job in &jobs {

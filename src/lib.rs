@@ -19,6 +19,7 @@
 //! | [`core`] | `tdals-core` | LACs, DCGWO, post-opt, full flow |
 //! | [`baselines`] | `tdals-baselines` | VECBEE-S / VaACS / HEDALS / GWO |
 //! | [`server`] | `tdals-server` | multi-tenant session scheduler |
+//! | [`cluster`] | `tdals-cluster` | multi-process shard coordinator |
 //! | [`lint`] | `tdals-lint` | structural netlist lint rules |
 //!
 //! # Quick start
@@ -54,6 +55,7 @@
 
 pub use tdals_baselines as baselines;
 pub use tdals_circuits as circuits;
+pub use tdals_cluster as cluster;
 pub use tdals_core as core;
 pub use tdals_lint as lint;
 pub use tdals_netlist as netlist;

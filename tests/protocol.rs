@@ -19,7 +19,7 @@ use std::io::{BufRead, BufReader, Cursor, Write};
 use std::net::TcpStream;
 
 use tdals::circuits::Benchmark;
-use tdals::core::api::{FlowEvent, StopReason};
+use tdals::core::api::{FlowEvent, FnObserver, StopReason};
 use tdals::core::{IterationStats, PostOptReport};
 use tdals::server::{
     as_error, error_frame, event_from_json, event_to_json, read_frame, results_document,
@@ -421,6 +421,73 @@ fn daemon_streams_each_event_exactly_once() {
         reply.get("events").map(|e| e.to_compact()),
         Some("[]".to_owned())
     );
+}
+
+/// Strips the one wall-clock field an event can carry
+/// (`FlowFinished.runtime_s`) so two captures of the same deterministic
+/// stream compare equal.
+fn zero_runtime(frame: &Json) -> Json {
+    let Json::Obj(members) = frame else {
+        return frame.clone();
+    };
+    Json::Obj(
+        members
+            .iter()
+            .map(|(k, v)| {
+                if k == "runtime_s" {
+                    (k.clone(), Json::Num(0.0))
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn late_client_drains_the_full_event_backlog_in_order() {
+    // A client that first asks for events after the session already
+    // finished — a shard supervisor reconnecting, a slow `submit` pump —
+    // must receive the entire buffered history in emission order, not a
+    // truncated tail. The golden order is a direct run observed by a
+    // closure: the daemon routes the same engine's events through its
+    // buffer, so backlog draining is capture-equality (modulo the one
+    // wall-clock field).
+    let job = quick_job(21);
+    let daemon = Daemon::new(DaemonConfig::new(1)).expect("valid config");
+    let reply = daemon.handle(&submit(&job, None));
+    assert_eq!(code_of(&reply), None, "{reply}");
+    let id = session_of(&reply);
+    // Block on the result without ever polling events: the backlog
+    // accumulates exactly as it would for a disconnected client.
+    let reply = daemon.handle(
+        &Request::Result {
+            session: id,
+            wait: true,
+        }
+        .to_json(),
+    );
+    assert_eq!(reply.get("done"), Some(&Json::Bool(true)));
+
+    let mut streamed = Vec::new();
+    loop {
+        let reply = daemon.handle(&Request::Events { session: id }.to_json());
+        let Some(Json::Arr(events)) = reply.get("events") else {
+            panic!("events is an array");
+        };
+        if events.is_empty() {
+            break;
+        }
+        streamed.extend(events.iter().map(zero_runtime));
+    }
+
+    let mut reference = Vec::new();
+    let mut capture = FnObserver(|ev: &FlowEvent| reference.push(zero_runtime(&event_to_json(ev))));
+    job.run_with(1, job.budget.to_budget(), &mut capture)
+        .expect("reference run completes");
+
+    assert!(!reference.is_empty(), "the flow emits events");
+    assert_eq!(streamed, reference, "backlog is the full history, in order");
 }
 
 #[test]

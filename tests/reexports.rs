@@ -7,6 +7,9 @@
 
 use tdals::baselines::{Genetic, Greedy, Hedals, Method, MethodConfig, ALL_METHODS};
 use tdals::circuits::{Benchmark, CircuitClass, ALL_BENCHMARKS};
+use tdals::cluster::{
+    merge, plan, ClusterError, ShardPlan, ShardPolicy, SupervisorOptions, SHARD_MAP_SCHEMA,
+};
 use tdals::core::api::{
     Budget, CancelFlag, Dcgwo, Flow, FlowError, FlowEvent, FlowOutcome, NopObserver, Observer,
     OptimizeOutcome, Optimizer, StopReason,
@@ -16,9 +19,9 @@ use tdals::netlist::builder::Builder;
 use tdals::netlist::cell::{Cell, CellFunc, Drive};
 use tdals::netlist::{verilog, GateId, Netlist, SignalRef};
 use tdals::server::{
-    error_frame, event_from_json, event_to_json, Connection, Daemon, DaemonConfig, ErrorCode,
-    FlowJob, FrameError, JobBudget, Manifest, Request, Scheduler, SchedulerConfig, ServerError,
-    SessionStatus, DEFAULT_MAX_FRAME_LEN, PROTOCOL_SCHEMA,
+    error_frame, event_from_json, event_to_json, BatchOptions, BatchRun, Connection, Daemon,
+    DaemonConfig, ErrorCode, FlowJob, FrameError, JobBudget, Manifest, Request, Scheduler,
+    SchedulerConfig, ServerError, SessionStatus, DEFAULT_MAX_FRAME_LEN, PROTOCOL_SCHEMA,
 };
 use tdals::sim::{simulate, ErrorMetric, Patterns};
 use tdals::sta::{analyze, SizingConfig, TimingConfig};
@@ -231,6 +234,59 @@ fn protocol_surface_resolves() {
     // Connection is generic over any duplex byte stream.
     let _conn: Connection<std::io::Cursor<Vec<u8>>> =
         Connection::new(std::io::Cursor::new(Vec::new()));
+}
+
+#[test]
+fn cluster_surface_resolves() {
+    // The shard coordinator, end to end through the umbrella: plan a
+    // manifest, round-trip the shard map, run both shards in-process
+    // through the batch engine, and merge byte-identically.
+    assert_eq!(SHARD_MAP_SCHEMA, 1);
+    assert_eq!(
+        ShardPolicy::parse("round-robin"),
+        Some(ShardPolicy::RoundRobin)
+    );
+    assert_eq!(ShardPolicy::SizeWeighted.cli_name(), "size-weighted");
+    let _opts = SupervisorOptions::new()
+        .with_retries(1)
+        .with_total_threads(2);
+    let _err: ClusterError = ClusterError::Merge { what: "x".into() };
+
+    let jobs: Vec<FlowJob> = [3u64, 5, 7]
+        .iter()
+        .map(|&seed| {
+            FlowJob::benchmark(Benchmark::Int2float)
+                .with_bound(0.05)
+                .with_scale(4, 1)
+                .with_vectors(256)
+                .with_seed(seed)
+                .with_name(format!("job-{seed}"))
+        })
+        .collect();
+    let manifest = Manifest::new(jobs);
+    let shard_plan = plan(&manifest, 2, ShardPolicy::RoundRobin).expect("plannable");
+    let round_trip = ShardPlan::from_json(&shard_plan.to_json()).expect("map round-trips");
+    assert_eq!(round_trip, shard_plan);
+
+    let opts = BatchOptions::new().with_total_threads(1);
+    let docs: Vec<String> = (0..shard_plan.shard_count())
+        .map(|s| {
+            let run = BatchRun::prepare(&shard_plan.manifest_for(&manifest, s), &opts)
+                .expect("shard prepares");
+            format!(
+                "{}\n",
+                run.run(&mut |_, _, _| {}).expect("shard runs").document()
+            )
+        })
+        .collect();
+    let merged = merge(&shard_plan, &docs).expect("merges");
+
+    let solo = BatchRun::prepare(&manifest, &opts).expect("solo prepares");
+    let solo_doc = format!(
+        "{}\n",
+        solo.run(&mut |_, _, _| {}).expect("solo runs").document()
+    );
+    assert_eq!(merged, solo_doc);
 }
 
 #[test]

@@ -20,8 +20,8 @@ use tdals::circuits::Benchmark;
 use tdals::core::api::{FlowEvent, FlowOutcome, Observer, StopReason};
 use tdals::netlist::Netlist;
 use tdals::server::{
-    FlowJob, JobBudget, Manifest, Scheduler, SchedulerConfig, ServerError, SessionError,
-    SessionStatus,
+    FlowJob, JobBudget, Manifest, ManifestError, Scheduler, SchedulerConfig, ServerError,
+    SessionError, SessionStatus,
 };
 
 /// A comparable fingerprint of one event (the `tests/parallel.rs`
@@ -553,6 +553,60 @@ fn manifest_and_jobs_round_trip_through_json() {
     assert!(err.to_string().contains("at least 1 worker"), "{err}");
 }
 
+#[test]
+fn manifest_rejects_empty_and_duplicate_names_with_typed_errors() {
+    // Result records are keyed by job name downstream (shard merges,
+    // post-mortems), so a manifest where two jobs share a name is
+    // rejected at parse time — naming both offending positions — and an
+    // empty manifest is a typed error rather than a zero-job run.
+    let err = Manifest::parse(r#"{"jobs": []}"#, &|_| Err("no".into())).unwrap_err();
+    assert!(matches!(err, ManifestError::Empty), "{err:?}");
+
+    let dup = r#"{"jobs": [
+        {"circuit": "bench:Int2float", "metric": "er", "bound": 0.05, "method": "dcgwo"},
+        {"circuit": "bench:Max16", "name": "other", "metric": "er", "bound": 0.05,
+         "method": "dcgwo"},
+        {"circuit": "bench:Int2float", "metric": "er", "bound": 0.05, "method": "hedals"}
+    ]}"#;
+    let err = Manifest::parse(dup, &|_| Err("no".into())).unwrap_err();
+    // Both defaulted to the circuit name `Int2float`: positions 0 and 2.
+    match &err {
+        ManifestError::DuplicateName {
+            name,
+            first,
+            second,
+        } => {
+            assert_eq!(name, "Int2float");
+            assert_eq!((*first, *second), (0, 2));
+        }
+        other => panic!("expected DuplicateName, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("jobs 0 and 2"), "{msg}");
+    assert!(msg.contains("unique `name`"), "{msg}");
+
+    // Explicit unique names fix it — `with_name` is the programmatic
+    // spelling of the same knob.
+    let named = r#"{"jobs": [
+        {"circuit": "bench:Int2float", "name": "a", "metric": "er", "bound": 0.05,
+         "method": "dcgwo"},
+        {"circuit": "bench:Int2float", "name": "b", "metric": "er", "bound": 0.05,
+         "method": "hedals"}
+    ]}"#;
+    let manifest = Manifest::parse(named, &|_| Err("no".into())).expect("unique names parse");
+    assert_eq!(manifest.jobs[0].name, "a");
+    assert_eq!(manifest.jobs[1].name, "b");
+    let renamed = manifest.jobs[0].clone().with_name("c");
+    assert_eq!(renamed.name, "c");
+
+    // subset() keeps the selected jobs in the given order and carries
+    // the batch-wide defaults — it is the shard sub-manifest primitive.
+    let sub = manifest.subset(&[1]);
+    assert_eq!(sub.jobs.len(), 1);
+    assert_eq!(sub.jobs[0].name, "b");
+    assert_eq!(sub.total_threads, manifest.total_threads);
+}
+
 fn tdals() -> Command {
     Command::new(env!("CARGO_BIN_EXE_tdals"))
 }
@@ -566,15 +620,15 @@ fn serve_batch_cli_output_is_byte_identical_across_pool_widths() {
     let manifest_path = dir.join("jobs.json");
     let manifest = r#"{
   "jobs": [
-    {"circuit": "bench:Int2float", "metric": "er", "bound": 0.05,
+    {"circuit": "bench:Int2float", "name": "i2f-dcgwo", "metric": "er", "bound": 0.05,
      "method": "dcgwo", "population": 6, "iterations": 3, "vectors": 512, "seed": 11},
-    {"circuit": "bench:Int2float", "metric": "er", "bound": 0.05,
+    {"circuit": "bench:Int2float", "name": "i2f-hedals", "metric": "er", "bound": 0.05,
      "method": "hedals", "iterations": 1, "vectors": 512, "seed": 7, "priority": 5,
      "threads": 2},
     {"circuit": "bench:Max16", "metric": "nmed", "bound": 0.0244,
      "method": "vaacs", "population": 6, "iterations": 2, "vectors": 512, "seed": 5,
      "max_evaluations": 60},
-    {"circuit": "bench:Int2float", "metric": "er", "bound": 0.05,
+    {"circuit": "bench:Int2float", "name": "i2f-greedy", "metric": "er", "bound": 0.05,
      "method": "greedy", "iterations": 1, "vectors": 512, "seed": 3,
      "max_iterations": 4}
   ]

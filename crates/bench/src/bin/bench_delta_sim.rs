@@ -39,7 +39,7 @@ use tdals_bench::json::Json;
 use tdals_bench::Effort;
 use tdals_circuits::{Benchmark, CircuitClass};
 use tdals_core::{propose_lac_with, EvalContext, Lac, SearchConfig};
-use tdals_sim::{ErrorMetric, Patterns};
+use tdals_sim::{simulate_with_width, ErrorMetric, Patterns, SimdWidth, ALL_WIDTHS};
 use tdals_sta::TimingConfig;
 
 /// Pinned defaults: the CI gate and the committed baseline must see the
@@ -52,6 +52,38 @@ const DEFAULT_REPS: usize = 5;
 const REGRESSION_TOLERANCE: f64 = 0.30;
 /// Required full/incremental speedup on the largest suite circuit.
 const REQUIRED_SPEEDUP_LARGEST: f64 = 5.0;
+/// Required W8-vs-W1 simulation speedup on the largest circuit when the
+/// build carries a ≥256-bit vector unit (the PR 4-style host-aware
+/// rule: strict where the hardware regime supports the claim).
+const REQUIRED_SIMD_SPEEDUP: f64 = 2.0;
+/// On narrow builds (baseline x86-64 is SSE2-only; NEON is 128-bit)
+/// the wide kernels must still not cost more than this slowdown —
+/// blocking is overhead-free restructuring, not a trade-off.
+const MAX_SIMD_OVERHEAD_NARROW: f64 = 1.35;
+
+/// `true` when the compiler was allowed to use 256-bit-or-wider vector
+/// instructions (`-C target-cpu=native` on an AVX2/AVX-512 host). The
+/// kernels are plain lane loops, so this — not runtime CPUID — is what
+/// decides whether wide blocks can beat the scalar reference by the
+/// strict margin.
+fn vector_capable() -> bool {
+    cfg!(any(target_feature = "avx2", target_feature = "avx512f"))
+}
+
+/// Human-readable name of the widest vector unit compiled in.
+fn vector_unit() -> &'static str {
+    if cfg!(target_feature = "avx512f") {
+        "avx512"
+    } else if cfg!(target_feature = "avx2") {
+        "avx2"
+    } else if cfg!(target_feature = "sse2") {
+        "sse2"
+    } else if cfg!(target_arch = "aarch64") {
+        "neon"
+    } else {
+        "none"
+    }
+}
 
 /// Size-spread suite: small control circuits through the largest
 /// arithmetic netlist (Sqrt, 14.7k gates).
@@ -74,6 +106,22 @@ struct CircuitReport {
     delta_us_per_cand: f64,
     speedup: f64,
     mean_cone_gates: f64,
+}
+
+/// One point of the SIMD width sweep on the largest circuit.
+struct SimdLane {
+    width: usize,
+    sim_us_per_pass: f64,
+    delta_us_per_cand: f64,
+}
+
+struct SimdReport {
+    circuit: String,
+    gates: usize,
+    vectors: usize,
+    lanes: Vec<SimdLane>,
+    sim_speedup_w8: f64,
+    delta_speedup_w8: f64,
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -101,8 +149,13 @@ fn main() {
     for bench in SUITE {
         reports.push(measure(bench, effort, seed, candidates, reps));
     }
+    let largest = *SUITE
+        .iter()
+        .max_by_key(|b| b.build().logic_gate_count())
+        .expect("non-empty suite");
+    let simd = measure_simd(largest, effort, seed, candidates, reps);
 
-    let report = to_json(&reports, seed, candidates, effort);
+    let report = to_json(&reports, &simd, seed, candidates, effort);
     let text = format!("{report}\n");
     match &out {
         Some(path) => {
@@ -239,11 +292,142 @@ fn measure(
     report
 }
 
+/// Sweeps the SIMD block width on the largest suite circuit: one full
+/// simulation pass and the incremental scoring path are timed at every
+/// width, after asserting that all widths score every candidate to the
+/// same error bits (width is a throughput knob, never a results knob).
+fn measure_simd(
+    bench: Benchmark,
+    effort: Effort,
+    seed: u64,
+    candidates: usize,
+    reps: usize,
+) -> SimdReport {
+    let netlist = bench.build();
+    let metric = match bench.class() {
+        CircuitClass::RandomControl => ErrorMetric::ErrorRate,
+        CircuitClass::Arithmetic => ErrorMetric::Nmed,
+    };
+    let vectors = effort.vectors(netlist.logic_gate_count());
+    let patterns = Patterns::random(netlist.input_count(), vectors, seed);
+
+    // Draft one candidate set at W=1; simulation values are
+    // width-invariant, so every width ranks the same LACs.
+    let ctx1 = EvalContext::new(
+        &netlist,
+        patterns.clone(),
+        metric,
+        TimingConfig::default(),
+        0.8,
+    )
+    .with_simd_width(SimdWidth::W1);
+    let base1 = ctx1.delta_eval(netlist.clone());
+    let report = base1.report();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+    let cfg = SearchConfig::default();
+    let mut lacs: Vec<Lac> = Vec::with_capacity(candidates);
+    let mut attempts = 0usize;
+    while lacs.len() < candidates {
+        attempts += 1;
+        assert!(
+            attempts <= candidates * 20,
+            "{}: drafted only {} of {candidates} candidate LACs after {attempts} attempts",
+            bench.name(),
+            lacs.len(),
+        );
+        if let Some(lac) = propose_lac_with(base1.netlist(), &report, base1.sim(), &cfg, &mut rng) {
+            lacs.push(lac);
+        }
+    }
+    let reference: Vec<f64> = lacs
+        .iter()
+        .map(|l| ctx1.score_lac(&base1, *l).error)
+        .collect();
+
+    let mut lanes: Vec<SimdLane> = Vec::new();
+    for width in ALL_WIDTHS {
+        let ctx = EvalContext::new(
+            &netlist,
+            patterns.clone(),
+            metric,
+            TimingConfig::default(),
+            0.8,
+        )
+        .with_simd_width(width);
+        let base = ctx.delta_eval(netlist.clone());
+        for (lac, want) in lacs.iter().zip(&reference) {
+            let got = ctx.score_lac(&base, *lac).error;
+            assert!(
+                got == *want,
+                "{}: width {width} scored {:?} to error {got}, W1 scored {want}",
+                bench.name(),
+                lac,
+            );
+        }
+
+        let mut sim_best = f64::INFINITY;
+        let mut delta_best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(simulate_with_width(&netlist, &patterns, width));
+            sim_best = sim_best.min(t.elapsed().as_secs_f64());
+
+            let t = Instant::now();
+            for lac in &lacs {
+                std::hint::black_box(ctx.score_lac(&base, *lac));
+            }
+            delta_best = delta_best.min(t.elapsed().as_secs_f64());
+        }
+        let lane = SimdLane {
+            width: width.lanes(),
+            sim_us_per_pass: sim_best * 1e6,
+            delta_us_per_cand: delta_best * 1e6 / candidates as f64,
+        };
+        eprintln!(
+            "{:<10} W{:<2} sim {:>10.1} us/pass  delta {:>8.1} us/cand",
+            bench.name(),
+            lane.width,
+            lane.sim_us_per_pass,
+            lane.delta_us_per_cand,
+        );
+        lanes.push(lane);
+    }
+
+    let lane = |w: usize| {
+        lanes
+            .iter()
+            .find(|l| l.width == w)
+            .expect("swept width present")
+    };
+    let report = SimdReport {
+        circuit: bench.name().to_string(),
+        gates: netlist.logic_gate_count(),
+        vectors,
+        sim_speedup_w8: lane(1).sim_us_per_pass / lane(8).sim_us_per_pass,
+        delta_speedup_w8: lane(1).delta_us_per_cand / lane(8).delta_us_per_cand,
+        lanes,
+    };
+    eprintln!(
+        "{:<10} W8-vs-W1: sim {:.2}x  delta {:.2}x  ({} build)",
+        report.circuit,
+        report.sim_speedup_w8,
+        report.delta_speedup_w8,
+        vector_unit(),
+    );
+    report
+}
+
 fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
 }
 
-fn to_json(reports: &[CircuitReport], seed: u64, candidates: usize, effort: Effort) -> Json {
+fn to_json(
+    reports: &[CircuitReport],
+    simd: &SimdReport,
+    seed: u64,
+    candidates: usize,
+    effort: Effort,
+) -> Json {
     let largest = reports
         .iter()
         .max_by_key(|r| r.gates)
@@ -254,6 +438,10 @@ fn to_json(reports: &[CircuitReport], seed: u64, candidates: usize, effort: Effo
         ("seed".into(), Json::Num(seed as f64)),
         ("candidates".into(), Json::Num(candidates as f64)),
         ("effort".into(), Json::Str(format!("{effort:?}"))),
+        (
+            "simd_width".into(),
+            Json::Num(SimdWidth::auto().lanes() as f64),
+        ),
         (
             "circuits".into(),
             Json::Arr(
@@ -293,6 +481,45 @@ fn to_json(reports: &[CircuitReport], seed: u64, candidates: usize, effort: Effo
                 ("name".into(), Json::Str(largest.name.clone())),
                 ("gates".into(), Json::Num(largest.gates as f64)),
                 ("speedup".into(), Json::Num(round2(largest.speedup))),
+            ]),
+        ),
+        (
+            "simd".into(),
+            Json::Obj(vec![
+                ("circuit".into(), Json::Str(simd.circuit.clone())),
+                ("gates".into(), Json::Num(simd.gates as f64)),
+                ("vectors".into(), Json::Num(simd.vectors as f64)),
+                ("vector_unit".into(), Json::Str(vector_unit().into())),
+                ("vector_capable".into(), Json::Bool(vector_capable())),
+                (
+                    "widths".into(),
+                    Json::Arr(
+                        simd.lanes
+                            .iter()
+                            .map(|l| {
+                                Json::Obj(vec![
+                                    ("width".into(), Json::Num(l.width as f64)),
+                                    (
+                                        "sim_us_per_pass".into(),
+                                        Json::Num(round2(l.sim_us_per_pass)),
+                                    ),
+                                    (
+                                        "delta_us_per_cand".into(),
+                                        Json::Num(round2(l.delta_us_per_cand)),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "sim_speedup_w8".into(),
+                    Json::Num(round2(simd.sim_speedup_w8)),
+                ),
+                (
+                    "delta_speedup_w8".into(),
+                    Json::Num(round2(simd.delta_speedup_w8)),
+                ),
             ]),
         ),
     ])
@@ -357,6 +584,44 @@ fn gate(fresh: &Json, baseline: &Json) -> Vec<String> {
                 REGRESSION_TOLERANCE * 100.0,
                 base_norm * 100.0,
             ));
+        }
+    }
+
+    // 3. Host-aware SIMD rule (cf. the bench_parallel parallelism gate):
+    //    on builds compiled with a ≥256-bit vector unit the wide blocks
+    //    must deliver the headline W8-vs-W1 simulation speedup; on
+    //    narrow builds (baseline x86-64 = SSE2, NEON = 128-bit) they
+    //    must merely never cost a pathological slowdown. Both bounds are
+    //    measured within the fresh run, so no cross-host comparison.
+    match fresh.get("simd") {
+        None => failures.push("fresh report missing the `simd` section".into()),
+        Some(simd) => {
+            let capable = simd
+                .get("vector_capable")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            let unit = simd
+                .get("vector_unit")
+                .and_then(Json::as_str)
+                .unwrap_or("<unknown>");
+            match simd.get("sim_speedup_w8").and_then(Json::as_f64) {
+                None => failures.push("fresh report missing simd.sim_speedup_w8".into()),
+                Some(speedup) if capable && speedup < REQUIRED_SIMD_SPEEDUP => {
+                    failures.push(format!(
+                        "simd: W8-vs-W1 simulation speedup {speedup:.2}x below the \
+                         required {REQUIRED_SIMD_SPEEDUP:.1}x on a vector-capable \
+                         build ({unit})"
+                    ));
+                }
+                Some(speedup) if !capable && speedup < 1.0 / MAX_SIMD_OVERHEAD_NARROW => {
+                    failures.push(format!(
+                        "simd: W8 blocks cost a {:.2}x slowdown over W1 on a narrow \
+                         build ({unit}); blocking must stay overhead-free",
+                        1.0 / speedup
+                    ));
+                }
+                Some(_) => {}
+            }
         }
     }
     failures

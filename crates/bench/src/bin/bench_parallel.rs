@@ -48,7 +48,7 @@ use tdals_bench::json::Json;
 use tdals_bench::Effort;
 use tdals_circuits::Benchmark;
 use tdals_core::{par, propose_lac_with, Candidate, EvalContext, Lac, SearchConfig};
-use tdals_sim::{ErrorMetric, Patterns};
+use tdals_sim::{ErrorMetric, Patterns, SimdWidth};
 use tdals_sta::TimingConfig;
 
 /// Pinned defaults: the CI gate and the committed baseline must see the
@@ -240,6 +240,10 @@ fn measure(effort: Effort, seed: u64, candidates: usize, reps: usize) -> Json {
         ("seed".into(), Json::Num(seed as f64)),
         ("candidates".into(), Json::Num(candidates as f64)),
         ("reps".into(), Json::Num(reps as f64)),
+        (
+            "simd_width".into(),
+            Json::Num(SimdWidth::auto().lanes() as f64),
+        ),
         ("effort".into(), Json::Str(format!("{effort:?}"))),
         (
             "host_parallelism".into(),

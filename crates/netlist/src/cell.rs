@@ -151,9 +151,59 @@ impl CellFunc {
         }
     }
 
+    /// Evaluate the function on `64 × W` input vectors at once: lane `l`
+    /// of block `i` carries samples `64·l .. 64·l+63` of input pin `i`.
+    ///
+    /// This is the single source of truth for every cell's bitwise
+    /// semantics — [`CellFunc::eval_word`] is the `W = 1` instance — and
+    /// the per-lane loops are written so LLVM can fold a whole block
+    /// into vector registers (SSE2/AVX2/AVX-512/NEON, whatever the
+    /// target provides; no intrinsics, no `unsafe`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`CellFunc::arity`].
+    #[inline]
+    pub fn eval_block<const W: usize>(self, inputs: &[[u64; W]]) -> [u64; W] {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "cell {self:?} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        use std::array::from_fn;
+        match self {
+            CellFunc::Input => [0; W],
+            CellFunc::Inv => from_fn(|l| !inputs[0][l]),
+            CellFunc::Buf => inputs[0],
+            CellFunc::And2 => from_fn(|l| inputs[0][l] & inputs[1][l]),
+            CellFunc::And3 => from_fn(|l| inputs[0][l] & inputs[1][l] & inputs[2][l]),
+            CellFunc::Or2 => from_fn(|l| inputs[0][l] | inputs[1][l]),
+            CellFunc::Or3 => from_fn(|l| inputs[0][l] | inputs[1][l] | inputs[2][l]),
+            CellFunc::Nand2 => from_fn(|l| !(inputs[0][l] & inputs[1][l])),
+            CellFunc::Nand3 => from_fn(|l| !(inputs[0][l] & inputs[1][l] & inputs[2][l])),
+            CellFunc::Nor2 => from_fn(|l| !(inputs[0][l] | inputs[1][l])),
+            CellFunc::Nor3 => from_fn(|l| !(inputs[0][l] | inputs[1][l] | inputs[2][l])),
+            CellFunc::Xor2 => from_fn(|l| inputs[0][l] ^ inputs[1][l]),
+            CellFunc::Xnor2 => from_fn(|l| !(inputs[0][l] ^ inputs[1][l])),
+            CellFunc::Aoi21 => from_fn(|l| !((inputs[0][l] & inputs[1][l]) | inputs[2][l])),
+            CellFunc::Oai21 => from_fn(|l| !((inputs[0][l] | inputs[1][l]) & inputs[2][l])),
+            CellFunc::Mux2 => {
+                from_fn(|l| (inputs[0][l] & inputs[2][l]) | (!inputs[0][l] & inputs[1][l]))
+            }
+            CellFunc::Maj3 => from_fn(|l| {
+                (inputs[0][l] & inputs[1][l])
+                    | (inputs[0][l] & inputs[2][l])
+                    | (inputs[1][l] & inputs[2][l])
+            }),
+        }
+    }
+
     /// Evaluate the function on 64 input vectors at once (bit-parallel).
     ///
-    /// Word `i` of `inputs` carries 64 samples of input pin `i`.
+    /// Word `i` of `inputs` carries 64 samples of input pin `i`. This is
+    /// [`CellFunc::eval_block`] at `W = 1`.
     ///
     /// # Panics
     ///
@@ -167,27 +217,11 @@ impl CellFunc {
             self.arity(),
             inputs.len()
         );
-        match self {
-            CellFunc::Input => 0,
-            CellFunc::Inv => !inputs[0],
-            CellFunc::Buf => inputs[0],
-            CellFunc::And2 => inputs[0] & inputs[1],
-            CellFunc::And3 => inputs[0] & inputs[1] & inputs[2],
-            CellFunc::Or2 => inputs[0] | inputs[1],
-            CellFunc::Or3 => inputs[0] | inputs[1] | inputs[2],
-            CellFunc::Nand2 => !(inputs[0] & inputs[1]),
-            CellFunc::Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
-            CellFunc::Nor2 => !(inputs[0] | inputs[1]),
-            CellFunc::Nor3 => !(inputs[0] | inputs[1] | inputs[2]),
-            CellFunc::Xor2 => inputs[0] ^ inputs[1],
-            CellFunc::Xnor2 => !(inputs[0] ^ inputs[1]),
-            CellFunc::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
-            CellFunc::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
-            CellFunc::Mux2 => (inputs[0] & inputs[2]) | (!inputs[0] & inputs[1]),
-            CellFunc::Maj3 => {
-                (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2])
-            }
+        let mut blocks = [[0u64; 1]; 3];
+        for (block, &word) in blocks.iter_mut().zip(inputs) {
+            block[0] = word;
         }
+        self.eval_block::<1>(&blocks[..inputs.len()])[0]
     }
 
     /// Evaluate the function on a single boolean input assignment.
@@ -489,6 +523,16 @@ impl Cell {
         self.func.eval_word(inputs)
     }
 
+    /// Evaluate `64 × W` samples at once; see [`CellFunc::eval_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the cell arity.
+    #[inline]
+    pub fn eval_block<const W: usize>(self, inputs: &[[u64; W]]) -> [u64; W] {
+        self.func.eval_block(inputs)
+    }
+
     /// Evaluate a single boolean assignment; see [`CellFunc::eval_bool`].
     ///
     /// # Panics
@@ -629,6 +673,37 @@ mod tests {
                 let word_out = func.eval_word(&words);
                 let expect = func.eval_bool(&bools);
                 assert_eq!(word_out, if expect { u64::MAX } else { 0 }, "{func}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_eval_matches_word_eval_lane_by_lane() {
+        // Each lane of a block must compute exactly what eval_word
+        // computes on that lane's words, for every function.
+        fn lane_words(n: usize, salt: u64) -> Vec<u64> {
+            (0..n)
+                .map(|p| {
+                    let x = salt
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(p as u64 + 1);
+                    x ^ (x >> 31) ^ (x << 7)
+                })
+                .collect()
+        }
+        for func in ALL_FUNCS {
+            let n = func.arity();
+            let mut blocks = [[0u64; 4]; 3];
+            for l in 0..4u64 {
+                let words = lane_words(n, l);
+                for p in 0..n {
+                    blocks[p][l as usize] = words[p];
+                }
+            }
+            let out = func.eval_block::<4>(&blocks[..n]);
+            for (l, &got) in out.iter().enumerate() {
+                let words = lane_words(n, l as u64);
+                assert_eq!(got, func.eval_word(&words), "{func} lane {l}");
             }
         }
     }

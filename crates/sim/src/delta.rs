@@ -64,9 +64,10 @@
 
 use tdals_netlist::{GateId, Netlist, NetlistError, SignalRef};
 
-use crate::engine::{simulate, SimResult};
+use crate::block::SimdWidth;
+use crate::engine::{simulate, simulate_with_width, SimResult};
 use crate::patterns::Patterns;
-use crate::view::{masked_signal_word, raw_signal_word, SimWords};
+use crate::view::{mask_tail, masked_signal_word, raw_signal_word, SimWords};
 
 /// Sentinel for "gate not in the overlay".
 const NO_SLOT: u32 = u32::MAX;
@@ -106,6 +107,9 @@ pub struct DeltaSim {
     commits_since_rebase: usize,
     /// Re-base (full resim + fan-out rebuild) period; 0 disables.
     full_resim_every_n: usize,
+    /// Block width of the cone-re-evaluation and re-base kernels.
+    /// A throughput knob only: words are bit-identical at every width.
+    simd: SimdWidth,
     /// Lifetime counters across all commits.
     commit_stats: DeltaStats,
     full_resims: usize,
@@ -152,9 +156,24 @@ impl DeltaSim {
             fanouts,
             commits_since_rebase: 0,
             full_resim_every_n: 0,
+            simd: SimdWidth::auto(),
             commit_stats: DeltaStats::default(),
             full_resims: 0,
         }
+    }
+
+    /// Sets the block width of the incremental kernels and any re-base
+    /// simulations. Width never changes results — only how many words
+    /// one inner-loop trip evaluates — so the already-simulated state
+    /// stays valid as-is. Returns `self` for builder-style chaining.
+    pub fn with_simd_width(mut self, width: SimdWidth) -> DeltaSim {
+        self.simd = width;
+        self
+    }
+
+    /// Current block width of the kernels.
+    pub fn simd_width(&self) -> SimdWidth {
+        self.simd
     }
 
     /// Sets the re-base period: after every `n` committed substitutions
@@ -269,7 +288,7 @@ impl DeltaSim {
         if self.full_resim_every_n > 0 && self.commits_since_rebase >= self.full_resim_every_n {
             // Re-base: mutate, then rebuild everything from scratch.
             let rewritten = self.netlist.substitute(target, switch)?;
-            let sim = simulate(&self.netlist, &self.patterns);
+            let sim = simulate_with_width(&self.netlist, &self.patterns, self.simd);
             self.values = sim.values;
             self.fanouts = self.netlist.fanout_lists();
             self.commits_since_rebase = 0;
@@ -313,11 +332,30 @@ impl DeltaSim {
     }
 
     /// Event-driven cone re-evaluation shared by `preview` and
-    /// `substitute`. Walks the fan-out of `target` in topological id
-    /// order, recomputing each reached gate under the pending
-    /// substitution; gates whose recomputed words equal their current
-    /// words do not propagate further.
+    /// `substitute` — the width dispatch over the monomorphized
+    /// [`DeltaSim::propagate_blocks`] kernels.
     fn propagate(
+        &self,
+        target: GateId,
+        switch: SignalRef,
+        slot: &mut [u32],
+        words: &mut Vec<u64>,
+        stats: &mut DeltaStats,
+    ) {
+        match self.simd {
+            SimdWidth::W1 => self.propagate_blocks::<1>(target, switch, slot, words, stats),
+            SimdWidth::W4 => self.propagate_blocks::<4>(target, switch, slot, words, stats),
+            SimdWidth::W8 => self.propagate_blocks::<8>(target, switch, slot, words, stats),
+        }
+    }
+
+    /// Walks the fan-out of `target` in topological id order,
+    /// recomputing each reached gate under the pending substitution;
+    /// gates whose recomputed words equal their current words do not
+    /// propagate further. The inner loop evaluates whole `[u64; W]`
+    /// blocks with the tail mask folded into the final block, then a
+    /// scalar pass covers the `word_count % W` remainder.
+    fn propagate_blocks<const W: usize>(
         &self,
         target: GateId,
         switch: SignalRef,
@@ -347,7 +385,9 @@ impl DeltaSim {
             Overlay(usize),
         }
         let mut pins: [Pin; 3] = [Pin::Const(0), Pin::Const(0), Pin::Const(0)];
+        let mut fanin_blocks = [[0u64; W]; 3];
         let mut fanin_words = [0u64; 3];
+        let full = wc - wc % W;
         let mut scratch = vec![0u64; wc];
         for i in lo..n {
             if !pending[i] {
@@ -376,7 +416,26 @@ impl DeltaSim {
             }
             let base = id.index() * wc;
             let mut changed = false;
-            for w in 0..wc {
+            let mut w = 0;
+            while w < full {
+                for (pin, resolved) in pins[..arity].iter().enumerate() {
+                    fanin_blocks[pin] = match resolved {
+                        Pin::Const(c) => [*c; W],
+                        Pin::Base(off) => block_from(&self.values, off + w),
+                        Pin::Overlay(off) => block_from(words, off + w),
+                    };
+                }
+                let mut out = cell.eval_block::<W>(&fanin_blocks[..arity]);
+                if w + W == wc {
+                    out[W - 1] &= self.tail_mask;
+                }
+                for (lane, &word) in out.iter().enumerate() {
+                    changed |= word != self.values[base + w + lane];
+                }
+                scratch[w..w + W].copy_from_slice(&out);
+                w += W;
+            }
+            for w in full..wc {
                 for (pin, resolved) in pins[..arity].iter().enumerate() {
                     fanin_words[pin] = match resolved {
                         Pin::Const(c) => *c,
@@ -384,10 +443,7 @@ impl DeltaSim {
                         Pin::Overlay(off) => words[off + w],
                     };
                 }
-                let mut out = cell.eval_word(&fanin_words[..arity]);
-                if w + 1 == wc {
-                    out &= self.tail_mask;
-                }
+                let out = mask_tail(cell.eval_word(&fanin_words[..arity]), w, wc, self.tail_mask);
                 scratch[w] = out;
                 changed |= out != self.values[base + w];
             }
@@ -405,6 +461,14 @@ impl DeltaSim {
             }
         }
     }
+}
+
+/// Copies `W` consecutive words starting at `off` into an owned block.
+#[inline]
+fn block_from<const W: usize>(storage: &[u64], off: usize) -> [u64; W] {
+    let mut block = [0u64; W];
+    block.copy_from_slice(&storage[off..off + W]);
+    block
 }
 
 impl SimWords for DeltaSim {
@@ -430,6 +494,27 @@ impl SimWords for DeltaSim {
 
     fn po_word(&self, po: usize, w: usize) -> u64 {
         self.signal_word(self.netlist.output_driver(po), w)
+    }
+
+    fn signal_block(&self, signal: SignalRef, w0: usize, out: &mut [u64]) {
+        match signal {
+            SignalRef::Const0 => out.fill(0),
+            SignalRef::Const1 => out.fill(u64::MAX),
+            SignalRef::Gate(id) => {
+                let base = id.index() * self.word_count + w0;
+                out.copy_from_slice(&self.values[base..base + out.len()]);
+            }
+        }
+        // Stored words are tail-zeroed; clip the constant expansions.
+        if w0 + out.len() == self.word_count {
+            if let Some(last) = out.last_mut() {
+                *last &= self.tail_mask;
+            }
+        }
+    }
+
+    fn po_block(&self, po: usize, w0: usize, out: &mut [u64]) {
+        self.signal_block(self.netlist.output_driver(po), w0, out);
     }
 }
 
@@ -492,12 +577,12 @@ impl SimWords for DeltaView<'_> {
     }
 
     fn signal_word(&self, signal: SignalRef, w: usize) -> u64 {
-        let raw = self.raw_word(signal, w);
-        if w + 1 == self.base.word_count {
-            raw & self.base.tail_mask
-        } else {
-            raw
-        }
+        mask_tail(
+            self.raw_word(signal, w),
+            w,
+            self.base.word_count,
+            self.base.tail_mask,
+        )
     }
 
     fn po_word(&self, po: usize, w: usize) -> u64 {

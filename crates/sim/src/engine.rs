@@ -2,8 +2,11 @@
 
 use tdals_netlist::{GateId, Netlist, SignalRef};
 
+use crate::block::SimdWidth;
 use crate::patterns::Patterns;
-use crate::view::{masked_signal_word, raw_signal_word, SimWords};
+use crate::view::{
+    masked_signal_word, raw_signal_block, raw_signal_word, zero_tail_words, SimWords,
+};
 
 /// Simulated values of every gate output for one stimulus batch.
 ///
@@ -140,9 +143,32 @@ impl SimWords for SimResult {
     fn po_word(&self, po: usize, w: usize) -> u64 {
         SimResult::po_word(self, po, w)
     }
+
+    fn signal_block(&self, signal: SignalRef, w0: usize, out: &mut [u64]) {
+        match signal {
+            SignalRef::Const0 => out.fill(0),
+            SignalRef::Const1 => out.fill(u64::MAX),
+            SignalRef::Gate(id) => {
+                let base = id.index() * self.word_count + w0;
+                out.copy_from_slice(&self.values[base..base + out.len()]);
+            }
+        }
+        // Stored gate words are tail-zeroed already; this clips the
+        // constant expansions the same way the per-word path does.
+        if w0 + out.len() == self.word_count {
+            if let Some(last) = out.last_mut() {
+                *last &= self.tail_mask;
+            }
+        }
+    }
+
+    fn po_block(&self, po: usize, w0: usize, out: &mut [u64]) {
+        self.signal_block(self.po_drivers[po], w0, out);
+    }
 }
 
-/// Simulates every gate of `netlist` on the given stimulus.
+/// Simulates every gate of `netlist` on the given stimulus at the
+/// default block width ([`SimdWidth::auto`]).
 ///
 /// Gates are evaluated in id order, which the netlist's topological id
 /// invariant guarantees is a valid evaluation order. Dangling gates are
@@ -153,6 +179,34 @@ impl SimWords for SimResult {
 /// Panics if `patterns.input_count()` differs from the netlist's primary
 /// input count.
 pub fn simulate(netlist: &Netlist, patterns: &Patterns) -> SimResult {
+    simulate_with_width(netlist, patterns, SimdWidth::auto())
+}
+
+/// [`simulate`] at an explicit block width.
+///
+/// The width selects the inner-loop block size of the gate kernels and
+/// nothing else: results are **bit-identical at every width** (the ops
+/// are pure bitwise functions of the same words — property-tested in
+/// `crates/sim/tests/blockwise.rs` across every tail residue class).
+///
+/// # Panics
+///
+/// Panics if `patterns.input_count()` differs from the netlist's primary
+/// input count.
+pub fn simulate_with_width(netlist: &Netlist, patterns: &Patterns, width: SimdWidth) -> SimResult {
+    match width {
+        SimdWidth::W1 => simulate_blocks::<1>(netlist, patterns),
+        SimdWidth::W4 => simulate_blocks::<4>(netlist, patterns),
+        SimdWidth::W8 => simulate_blocks::<8>(netlist, patterns),
+    }
+}
+
+/// The monomorphized engine: evaluates whole `[u64; W]` blocks in the
+/// inner loop (straight-line bitwise ops LLVM can vectorize), then
+/// finishes the `word_count % W` remainder one word at a time. The tail
+/// mask is applied once at the end, to the final word of every gate,
+/// via the shared [`zero_tail_words`] rule.
+fn simulate_blocks<const W: usize>(netlist: &Netlist, patterns: &Patterns) -> SimResult {
     assert_eq!(
         patterns.input_count(),
         netlist.input_count(),
@@ -168,6 +222,8 @@ pub fn simulate(netlist: &Netlist, patterns: &Patterns) -> SimResult {
         values[base..base + word_count].copy_from_slice(patterns.input_words(pi_idx));
     }
 
+    let full = word_count - word_count % W;
+    let mut fanin_blocks = [[0u64; W]; 3];
     let mut fanin_words = [0u64; 3];
     for (id, gate) in netlist.iter() {
         if gate.is_input() {
@@ -176,7 +232,16 @@ pub fn simulate(netlist: &Netlist, patterns: &Patterns) -> SimResult {
         let cell = gate.cell();
         let arity = cell.arity();
         let base = id.index() * word_count;
-        for w in 0..word_count {
+        let mut w = 0;
+        while w < full {
+            for (pin, &fanin) in gate.fanins().iter().enumerate() {
+                fanin_blocks[pin] = raw_signal_block::<W>(&values, word_count, fanin, w);
+            }
+            let out = cell.eval_block::<W>(&fanin_blocks[..arity]);
+            values[base + w..base + w + W].copy_from_slice(&out);
+            w += W;
+        }
+        for w in full..word_count {
             for (pin, &fanin) in gate.fanins().iter().enumerate() {
                 fanin_words[pin] = raw_signal_word(&values, word_count, fanin, w);
             }
@@ -186,11 +251,7 @@ pub fn simulate(netlist: &Netlist, patterns: &Patterns) -> SimResult {
 
     // Zero the invalid tail bits of every gate so popcounts stay exact.
     let tail = patterns.tail_mask();
-    if tail != u64::MAX {
-        for g in 0..gate_count {
-            values[g * word_count + word_count - 1] &= tail;
-        }
-    }
+    zero_tail_words(&mut values, word_count, tail);
 
     SimResult {
         vector_count: patterns.vector_count(),

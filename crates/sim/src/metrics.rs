@@ -3,7 +3,8 @@
 
 use tdals_netlist::Netlist;
 
-use crate::engine::{simulate, SimResult};
+use crate::block::SimdWidth;
+use crate::engine::{simulate_with_width, SimResult};
 use crate::patterns::Patterns;
 use crate::view::SimWords;
 
@@ -99,14 +100,30 @@ fn check_compat<A: SimWords, B: SimWords>(ori: &A, app: &B) {
 /// ```
 pub fn error_rate<A: SimWords, B: SimWords>(ori: &A, app: &B) -> f64 {
     check_compat(ori, app);
+    // Walk whole blocks through the SimWords block accessors so
+    // contiguous implementors serve slice copies instead of per-word
+    // calls. Popcount accumulation is per-word and order-preserving:
+    // the result is exactly the scalar loop's.
+    const B: usize = 8;
     let words = ori.word_count();
     let mut wrong = 0usize;
-    for w in 0..words {
-        let mut any_diff = 0u64;
+    let mut w = 0;
+    while w < words {
+        let n = B.min(words - w);
+        let mut any_diff = [0u64; B];
+        let mut o = [0u64; B];
+        let mut a = [0u64; B];
         for po in 0..ori.output_count() {
-            any_diff |= ori.po_word(po, w) ^ app.po_word(po, w);
+            ori.po_block(po, w, &mut o[..n]);
+            app.po_block(po, w, &mut a[..n]);
+            for l in 0..n {
+                any_diff[l] |= o[l] ^ a[l];
+            }
         }
-        wrong += any_diff.count_ones() as usize;
+        for &d in &any_diff[..n] {
+            wrong += d.count_ones() as usize;
+        }
+        w += n;
     }
     wrong as f64 / ori.vector_count() as f64
 }
@@ -123,11 +140,22 @@ pub fn error_rate<A: SimWords, B: SimWords>(ori: &A, app: &B) -> f64 {
 pub fn po_flip_rates<A: SimWords, B: SimWords>(ori: &A, app: &B) -> Vec<f64> {
     check_compat(ori, app);
     let n_vec = ori.vector_count() as f64;
+    const B: usize = 8;
+    let words = ori.word_count();
     (0..ori.output_count())
         .map(|po| {
             let mut diff = 0usize;
-            for w in 0..ori.word_count() {
-                diff += (ori.po_word(po, w) ^ app.po_word(po, w)).count_ones() as usize;
+            let mut o = [0u64; B];
+            let mut a = [0u64; B];
+            let mut w = 0;
+            while w < words {
+                let n = B.min(words - w);
+                ori.po_block(po, w, &mut o[..n]);
+                app.po_block(po, w, &mut a[..n]);
+                for l in 0..n {
+                    diff += (o[l] ^ a[l]).count_ones() as usize;
+                }
+                w += n;
             }
             diff as f64 / n_vec
         })
@@ -219,18 +247,35 @@ pub struct ErrorEvaluator {
     patterns: Patterns,
     golden: SimResult,
     metric: ErrorMetric,
+    simd: SimdWidth,
 }
 
 impl ErrorEvaluator {
     /// Simulates `accurate` once and prepares to score variants with the
-    /// given metric.
+    /// given metric, at the default block width ([`SimdWidth::auto`]).
     pub fn new(accurate: &Netlist, patterns: Patterns, metric: ErrorMetric) -> ErrorEvaluator {
-        let golden = simulate(accurate, &patterns);
+        let simd = SimdWidth::auto();
+        let golden = simulate_with_width(accurate, &patterns, simd);
         ErrorEvaluator {
             patterns,
             golden,
             metric,
+            simd,
         }
+    }
+
+    /// Sets the block width of every simulation this evaluator runs.
+    /// Width is a throughput knob only — the cached golden result stays
+    /// valid because words are bit-identical at every width. Returns
+    /// `self` for builder-style chaining.
+    pub fn with_simd_width(mut self, width: SimdWidth) -> ErrorEvaluator {
+        self.simd = width;
+        self
+    }
+
+    /// Current block width of the simulation kernels.
+    pub fn simd_width(&self) -> SimdWidth {
+        self.simd
     }
 
     /// Metric being evaluated.
@@ -250,7 +295,7 @@ impl ErrorEvaluator {
 
     /// Simulates an approximate variant on the shared stimulus.
     pub fn simulate(&self, approx: &Netlist) -> SimResult {
-        simulate(approx, &self.patterns)
+        simulate_with_width(approx, &self.patterns, self.simd)
     }
 
     /// Metric value of an approximate variant.
@@ -287,6 +332,7 @@ impl ErrorEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::simulate;
     use tdals_netlist::cell::{Cell, CellFunc, Drive};
     use tdals_netlist::SignalRef;
 

@@ -47,17 +47,15 @@ impl Patterns {
         assert!(vector_count > 0, "need at least one vector");
         let word_count = vector_count.div_ceil(64);
         let mut rng = StdRng::seed_from_u64(seed);
+        // Fill whole words branch-free (one RNG draw per word — the
+        // draw order is part of the pattern-reproducibility contract),
+        // then clip every input's tail through the same shared rule the
+        // simulation engines use.
         let mut words = Vec::with_capacity(input_count * word_count);
-        let tail = tail_mask(vector_count);
-        for _ in 0..input_count {
-            for w in 0..word_count {
-                let mut word: u64 = rng.gen();
-                if w + 1 == word_count {
-                    word &= tail;
-                }
-                words.push(word);
-            }
+        for _ in 0..input_count * word_count {
+            words.push(rng.gen::<u64>());
         }
+        crate::view::zero_tail_words(&mut words, word_count, tail_mask(vector_count));
         Patterns {
             input_count,
             vector_count,

@@ -32,6 +32,42 @@ pub(crate) fn raw_signal_word(
     }
 }
 
+/// Raw (tail-unmasked) block of `W` consecutive words of `signal`
+/// starting at word `w0` — the blockwise twin of [`raw_signal_word`],
+/// with the same `Const0`/`Const1`/gate expansion rule. The caller must
+/// ensure `w0 + W <= word_count`.
+#[inline]
+pub(crate) fn raw_signal_block<const W: usize>(
+    values: &[u64],
+    word_count: usize,
+    signal: SignalRef,
+    w0: usize,
+) -> [u64; W] {
+    match signal {
+        SignalRef::Const0 => [0; W],
+        SignalRef::Const1 => [u64::MAX; W],
+        SignalRef::Gate(id) => {
+            let base = id.index() * word_count + w0;
+            let mut block = [0u64; W];
+            block.copy_from_slice(&values[base..base + W]);
+            block
+        }
+    }
+}
+
+/// **The** tail rule, shared by every read path: a raw word is masked
+/// iff it is the final word of its signal. Hoisted here so the full
+/// engine, the incremental engine, and the query API cannot diverge on
+/// which word gets clipped.
+#[inline]
+pub(crate) fn mask_tail(raw: u64, w: usize, word_count: usize, tail_mask: u64) -> u64 {
+    if w + 1 == word_count {
+        raw & tail_mask
+    } else {
+        raw
+    }
+}
+
 /// [`raw_signal_word`] with the invalid tail bits of the final word
 /// cleared, so popcount-based statistics stay exact.
 #[inline]
@@ -42,11 +78,28 @@ pub(crate) fn masked_signal_word(
     signal: SignalRef,
     w: usize,
 ) -> u64 {
-    let raw = raw_signal_word(values, word_count, signal, w);
-    if w + 1 == word_count {
-        raw & tail_mask
-    } else {
-        raw
+    mask_tail(
+        raw_signal_word(values, word_count, signal, w),
+        w,
+        word_count,
+        tail_mask,
+    )
+}
+
+/// The write-side twin of [`mask_tail`]: zeroes the invalid tail bits
+/// of the **final word of every row** in `word_count`-word row-major
+/// storage (gate-major simulation values, input-major stimulus words).
+/// Both the full engine and pattern generation defer to this one
+/// helper, so a future width bug cannot clip different bits on the two
+/// sides.
+pub(crate) fn zero_tail_words(values: &mut [u64], word_count: usize, tail_mask: u64) {
+    if tail_mask == u64::MAX || word_count == 0 {
+        return;
+    }
+    let mut i = word_count - 1;
+    while i < values.len() {
+        values[i] &= tail_mask;
+        i += word_count;
     }
 }
 
@@ -72,10 +125,36 @@ pub trait SimWords {
     fn tail_mask(&self) -> u64;
 
     /// Word `w` of an arbitrary signal, tail-masked.
+    ///
+    /// The scalar shim over [`SimWords::signal_block`]-style access:
+    /// metrics that walk whole blocks use the block accessors below,
+    /// but per-word reads stay available for tests and tooling.
     fn signal_word(&self, signal: SignalRef, w: usize) -> u64;
 
     /// Word `w` of primary output `po`, tail-masked.
     fn po_word(&self, po: usize, w: usize) -> u64;
+
+    /// Fills `out` with words `w0 .. w0 + out.len()` of `signal`,
+    /// tail-masked — the block-indexed accessor the widened kernels and
+    /// metrics read through. `w0 + out.len()` must not exceed
+    /// [`SimWords::word_count`].
+    ///
+    /// The default forwards to [`SimWords::signal_word`] per word;
+    /// implementors with contiguous storage override it with a slice
+    /// copy.
+    fn signal_block(&self, signal: SignalRef, w0: usize, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.signal_word(signal, w0 + i);
+        }
+    }
+
+    /// Fills `out` with words `w0 .. w0 + out.len()` of primary output
+    /// `po`, tail-masked; the block twin of [`SimWords::po_word`].
+    fn po_block(&self, po: usize, w0: usize, out: &mut [u64]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.po_word(po, w0 + i);
+        }
+    }
 
     /// Counts vectors on which the two signals differ.
     fn diff_count(&self, a: SignalRef, b: SignalRef) -> usize {
@@ -116,5 +195,49 @@ mod tests {
         assert_eq!(m, 0xF);
         let m = masked_signal_word(&values, 2, 0xF, SignalRef::Const1, 0);
         assert_eq!(m, u64::MAX);
+    }
+
+    #[test]
+    fn raw_block_expands_constants_and_gates() {
+        let values = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(
+            raw_signal_block::<2>(&values, 3, SignalRef::Const0, 1),
+            [0, 0]
+        );
+        assert_eq!(
+            raw_signal_block::<2>(&values, 3, SignalRef::Const1, 1),
+            [u64::MAX; 2]
+        );
+        assert_eq!(
+            raw_signal_block::<2>(&values, 3, SignalRef::Gate(GateId::new(1)), 1),
+            [5, 6]
+        );
+    }
+
+    /// The corner the duplicated masking logic used to guard twice:
+    /// `Const1` reads are all-ones *except* the tail bits of the final
+    /// word, and only there.
+    #[test]
+    fn mask_tail_clips_const1_final_word_only() {
+        let tail = 0x3F; // 70 vectors -> 6 valid bits in word 1 of 2
+        assert_eq!(mask_tail(u64::MAX, 1, 2, tail), 0x3F);
+        assert_eq!(mask_tail(u64::MAX, 0, 2, tail), u64::MAX);
+        // Word-aligned batches mask nothing.
+        assert_eq!(mask_tail(u64::MAX, 1, 2, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn zero_tail_words_hits_every_rows_final_word() {
+        // Two 3-word rows, all ones.
+        let mut values = vec![u64::MAX; 6];
+        zero_tail_words(&mut values, 3, 0xF);
+        assert_eq!(
+            values,
+            vec![u64::MAX, u64::MAX, 0xF, u64::MAX, u64::MAX, 0xF]
+        );
+        // Full mask is a no-op.
+        let mut values = vec![u64::MAX; 6];
+        zero_tail_words(&mut values, 3, u64::MAX);
+        assert_eq!(values, vec![u64::MAX; 6]);
     }
 }

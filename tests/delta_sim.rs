@@ -15,7 +15,7 @@ use tdals::circuits::random_logic::{grow, RandomLogicSpec};
 use tdals::core::{optimize, EvalContext, Lac, OptimizerConfig};
 use tdals::netlist::builder::Builder;
 use tdals::netlist::{GateId, Netlist, SignalRef};
-use tdals::sim::{simulate, DeltaSim, ErrorMetric, Patterns, SimWords};
+use tdals::sim::{simulate, DeltaSim, ErrorMetric, Patterns, SimWords, SimdWidth, ALL_WIDTHS};
 use tdals::sta::TimingConfig;
 
 /// Deterministic random netlist from a seed.
@@ -70,7 +70,7 @@ proptest! {
     /// Tentpole invariant: a previewed substitution is bit-identical to
     /// mutating the netlist and fully re-simulating it, on arbitrary
     /// random netlists and arbitrary single-gate substitutions —
-    /// including unaligned tail words.
+    /// including unaligned tail words, at every SIMD block width.
     #[test]
     fn preview_is_bit_identical_to_full_resim(
         seed in 0u64..300,
@@ -78,39 +78,47 @@ proptest! {
     ) {
         let n = random_netlist(seed, 6, 50, 5);
         let p = Patterns::random(n.input_count(), vectors, seed ^ 0x5eed);
-        let delta = DeltaSim::new(n.clone(), &p);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
-        for _ in 0..4 {
-            let (target, switch) = random_substitution(&n, &mut rng);
-            let view = delta.preview(target, switch);
-            let mut mutated = n.clone();
-            mutated.substitute(target, switch).expect("legal LAC");
-            let full = simulate(&mutated, &p);
-            assert_words_match(&view, &full, &format!("seed {seed}, {target} := {switch}"));
+        for width in ALL_WIDTHS {
+            let delta = DeltaSim::new(n.clone(), &p).with_simd_width(width);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+            for _ in 0..4 {
+                let (target, switch) = random_substitution(&n, &mut rng);
+                let view = delta.preview(target, switch);
+                let mut mutated = n.clone();
+                mutated.substitute(target, switch).expect("legal LAC");
+                let full = simulate(&mutated, &p);
+                assert_words_match(&view, &full,
+                    &format!("seed {seed}, W{width}, {target} := {switch}"));
+            }
         }
     }
 
     /// Committed substitution chains (with and without periodic
-    /// re-basing) track full re-simulation exactly.
+    /// re-basing) track full re-simulation exactly — at every SIMD
+    /// block width, since commit and the `full_resim_every_n` re-base
+    /// run different kernels (cone overlay vs whole-netlist pass).
     #[test]
     fn commit_chains_are_bit_identical(
         seed in 0u64..200,
         rebase_every in 0usize..4,
     ) {
-        let mut reference = random_netlist(seed, 5, 40, 4);
-        let p = Patterns::random(reference.input_count(), 200, seed ^ 0xace);
-        let mut delta = DeltaSim::new(reference.clone(), &p)
-            .with_full_resim_every(rebase_every);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(17) ^ 9);
-        for step in 0..6 {
-            let (target, switch) = random_substitution(&reference, &mut rng);
-            let a = delta.substitute(target, switch).expect("legal LAC");
-            let b = reference.substitute(target, switch).expect("legal LAC");
-            prop_assert_eq!(a, b, "rewritten counts at step {}", step);
-            let full = simulate(&reference, &p);
-            assert_words_match(&delta, &full, &format!("seed {seed} step {step}"));
+        for width in ALL_WIDTHS {
+            let mut reference = random_netlist(seed, 5, 40, 4);
+            let p = Patterns::random(reference.input_count(), 200, seed ^ 0xace);
+            let mut delta = DeltaSim::new(reference.clone(), &p)
+                .with_full_resim_every(rebase_every)
+                .with_simd_width(width);
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(17) ^ 9);
+            for step in 0..6 {
+                let (target, switch) = random_substitution(&reference, &mut rng);
+                let a = delta.substitute(target, switch).expect("legal LAC");
+                let b = reference.substitute(target, switch).expect("legal LAC");
+                prop_assert_eq!(a, b, "rewritten counts at step {} W{}", step, width);
+                let full = simulate(&reference, &p);
+                assert_words_match(&delta, &full, &format!("seed {seed} W{width} step {step}"));
+            }
+            prop_assert_eq!(delta.netlist(), &reference);
         }
-        prop_assert_eq!(delta.netlist(), &reference);
     }
 
     /// The full scoring path: incremental error, timing, and area agree
@@ -227,4 +235,37 @@ fn full_resim_knob_is_behavior_preserving() {
     for (x, y) in never.history.iter().zip(&often.history) {
         assert_eq!(x.best_fitness, y.best_fitness);
     }
+}
+
+/// Regression guard for the parallel scorer: a wide-kernel `DeltaSim`
+/// scratch clone must stay `Send + Sync` (the worker pool moves clones
+/// across threads), and the clone must carry the parent's width and
+/// keep producing bit-identical previews from another thread.
+#[test]
+fn wide_delta_sim_scratch_clone_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>(_: &T) {}
+
+    let n = random_netlist(77, 6, 50, 5);
+    let p = Patterns::random(n.input_count(), 200, 0x5ca7c4);
+    let parent = DeltaSim::new(n.clone(), &p).with_simd_width(SimdWidth::W8);
+    let scratch = parent.clone();
+    assert_send_sync(&scratch);
+    assert_eq!(scratch.simd_width(), SimdWidth::W8);
+
+    let mut rng = StdRng::seed_from_u64(0x7ead);
+    let (target, switch) = random_substitution(&n, &mut rng);
+    let expected = {
+        let mut mutated = n.clone();
+        mutated.substitute(target, switch).expect("legal LAC");
+        simulate(&mutated, &p)
+    };
+    std::thread::scope(|scope| {
+        scope
+            .spawn(move || {
+                let view = scratch.preview(target, switch);
+                assert_words_match(&view, &expected, "scratch clone on another thread");
+            })
+            .join()
+            .expect("worker thread");
+    });
 }

@@ -31,11 +31,10 @@
 //! hardware; it fails when the normalized cost regresses by more than
 //! 30% or the largest circuit's speedup drops below 5×.
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tdals_bench::json::Json;
+use tdals_bench::timing::Stopwatch;
 use tdals_bench::Effort;
 use tdals_circuits::{Benchmark, CircuitClass};
 use tdals_core::{propose_lac_with, EvalContext, Lac, SearchConfig};
@@ -258,19 +257,19 @@ fn measure(
     let mut full_best = f64::INFINITY;
     let mut delta_best = f64::INFINITY;
     for _ in 0..reps {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         for lac in &lacs {
             let mut mutant = netlist.clone();
             lac.apply(&mut mutant).expect("legal LAC");
             std::hint::black_box(ctx.evaluate(mutant));
         }
-        full_best = full_best.min(t.elapsed().as_secs_f64());
+        full_best = full_best.min(t.elapsed_s());
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         for lac in &lacs {
             std::hint::black_box(ctx.score_lac(&base, *lac));
         }
-        delta_best = delta_best.min(t.elapsed().as_secs_f64());
+        delta_best = delta_best.min(t.elapsed_s());
     }
 
     let full_us = full_best * 1e6 / candidates as f64;
@@ -368,15 +367,15 @@ fn measure_simd(
         let mut sim_best = f64::INFINITY;
         let mut delta_best = f64::INFINITY;
         for _ in 0..reps {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             std::hint::black_box(simulate_with_width(&netlist, &patterns, width));
-            sim_best = sim_best.min(t.elapsed().as_secs_f64());
+            sim_best = sim_best.min(t.elapsed_s());
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for lac in &lacs {
                 std::hint::black_box(ctx.score_lac(&base, *lac));
             }
-            delta_best = delta_best.min(t.elapsed().as_secs_f64());
+            delta_best = delta_best.min(t.elapsed_s());
         }
         let lane = SimdLane {
             width: width.lanes(),

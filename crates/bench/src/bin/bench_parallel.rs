@@ -40,14 +40,14 @@
 //! Either way the fresh report records `host_parallelism`, so a reader
 //! always knows which regime produced the committed numbers.
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tdals_bench::json::Json;
+use tdals_bench::timing::Stopwatch;
 use tdals_bench::Effort;
 use tdals_circuits::Benchmark;
-use tdals_core::{par, propose_lac_with, Candidate, EvalContext, Lac, SearchConfig};
+use tdals_core::{par, propose_lac_with, Candidate, Dcgwo, EvalContext, Flow, Lac, SearchConfig};
+use tdals_obs::metrics::set_counters_enabled;
 use tdals_sim::{ErrorMetric, Patterns, SimdWidth};
 use tdals_sta::TimingConfig;
 
@@ -85,6 +85,17 @@ const MAX_OVERHEAD_SINGLE_CORE: f64 = 1.35;
 
 /// The gate circuit: the suite's largest netlist.
 const CIRCUIT: Benchmark = Benchmark::Sqrt;
+
+/// Circuit for the observability-overhead probe: small enough that the
+/// counter/histogram writes are a *measurable* fraction of the work —
+/// on Sqrt they would vanish entirely into the evaluation cost and the
+/// gate would test nothing.
+const OBS_CIRCUIT: Benchmark = Benchmark::Int2float;
+
+/// Allowed slowdown of the instrumented flow (counters armed, tracing
+/// off — the production configuration) over the same flow with the
+/// registry disarmed.
+const MAX_OBS_OVERHEAD_PCT: f64 = 3.0;
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -132,6 +143,66 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// One timed run of the observability probe flow: a small pinned DCGWO
+/// session on [`OBS_CIRCUIT`]. Deterministic, so the armed and
+/// disarmed runs execute the exact same work — the only difference is
+/// whether the registry's atomics absorb the writes.
+fn obs_probe_s(seed: u64) -> f64 {
+    let netlist = OBS_CIRCUIT.build();
+    let t = Stopwatch::start();
+    let outcome = Flow::for_netlist(&netlist)
+        .metric(ErrorMetric::ErrorRate)
+        .error_bound(0.05)
+        .vectors(4096)
+        .pattern_seed(seed)
+        .optimizer(Dcgwo::paper().quick(12, 20))
+        .run()
+        .expect("obs probe flow");
+    let s = t.elapsed_s();
+    std::hint::black_box(outcome);
+    s
+}
+
+/// Measures the cost of the always-on counters: best-of-`reps` timing
+/// of the probe flow with the registry disarmed vs armed (tracing off
+/// in both — the production configuration). Restores the armed state
+/// before returning.
+fn measure_obs(seed: u64, reps: usize) -> Json {
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let mut uninstrumented = f64::INFINITY;
+    let mut instrumented = f64::INFINITY;
+    // Warm-up run so neither arm pays first-touch costs.
+    obs_probe_s(seed);
+    for _ in 0..reps {
+        // Alternate arms within each rep so drift in host load hits
+        // both measurements, not just the second one.
+        set_counters_enabled(false);
+        uninstrumented = uninstrumented.min(obs_probe_s(seed));
+        set_counters_enabled(true);
+        instrumented = instrumented.min(obs_probe_s(seed));
+    }
+    let overhead_pct = (instrumented - uninstrumented) / uninstrumented * 100.0;
+    eprintln!(
+        "{:<6} obs overhead: {:.4}s disarmed, {:.4}s armed ({:+.2}%)",
+        OBS_CIRCUIT.name(),
+        uninstrumented,
+        instrumented,
+        overhead_pct
+    );
+    Json::Obj(vec![
+        ("circuit".into(), Json::Str(OBS_CIRCUIT.name().into())),
+        (
+            "uninstrumented_s".into(),
+            Json::Num((uninstrumented * 1e4).round() / 1e4),
+        ),
+        (
+            "instrumented_s".into(),
+            Json::Num((instrumented * 1e4).round() / 1e4),
+        ),
+        ("overhead_pct".into(), Json::Num(round2(overhead_pct))),
+    ])
 }
 
 /// A comparable digest of one candidate's evaluation; every field must
@@ -212,9 +283,9 @@ fn measure(effort: Effort, seed: u64, candidates: usize, reps: usize) -> Json {
     let mut us_per_cand = vec![f64::INFINITY; widths.len()];
     for _ in 0..reps {
         for (slot, &width) in us_per_cand.iter_mut().zip(&widths) {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             std::hint::black_box(par::par_map(width, lacs.clone(), eval_one));
-            *slot = slot.min(t.elapsed().as_secs_f64() * 1e6 / candidates as f64);
+            *slot = slot.min(t.elapsed_s() * 1e6 / candidates as f64);
         }
     }
     for (&width, &us) in widths.iter().zip(&us_per_cand) {
@@ -279,6 +350,7 @@ fn measure(effort: Effort, seed: u64, candidates: usize, reps: usize) -> Json {
             "speedup_at_4".into(),
             Json::Num(round2(us_per_cand[0] / us_per_cand[at_4])),
         ),
+        ("obs".into(), measure_obs(seed, reps)),
     ])
 }
 
@@ -312,6 +384,14 @@ fn gate(fresh: &Json, baseline: &Json) -> Vec<String> {
                     }
                 }
             }
+        }
+        if doc
+            .get("obs")
+            .and_then(|o| o.get("overhead_pct"))
+            .and_then(Json::as_f64)
+            .is_none()
+        {
+            failures.push(format!("{who}: missing obs.overhead_pct"));
         }
     }
     if !failures.is_empty() {
@@ -359,6 +439,21 @@ fn gate(fresh: &Json, baseline: &Json) -> Vec<String> {
             "bench gate: single-core host — speedup gate needs cores, \
              applying the {MAX_OVERHEAD_SINGLE_CORE:.2}x overhead bound instead"
         );
+    }
+
+    // Observability must stay invisible in the production shape
+    // (counters armed, tracing off). The *fresh* measurement gates —
+    // overhead is a property of the measuring host, like speedup.
+    let obs_overhead = fresh
+        .get("obs")
+        .and_then(|o| o.get("overhead_pct"))
+        .and_then(Json::as_f64)
+        .expect("checked above");
+    if obs_overhead > MAX_OBS_OVERHEAD_PCT {
+        failures.push(format!(
+            "instrumented flow is {obs_overhead:.2}% slower than with the metric registry \
+             disarmed (allowed: {MAX_OBS_OVERHEAD_PCT:.1}%)"
+        ));
     }
     failures
 }

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod obs_report;
+pub mod timing;
 
 use tdals_circuits::Benchmark;
 use tdals_core::EvalContext;

@@ -27,7 +27,10 @@ use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use tdals_obs::clock::{self, Instant};
+use tdals_obs::trace;
 
 use tdals_bench::json::Json;
 use tdals_server::{
@@ -288,7 +291,7 @@ fn spawn_worker(
         shard,
         attempt,
         child,
-        started: Instant::now(),
+        started: clock::now(),
         tail,
         reader,
     })
@@ -350,6 +353,10 @@ pub fn run_children(
     on_frame: &mut dyn FnMut(&Json),
 ) -> Result<Vec<String>, ClusterError> {
     let count = plan.shard_count();
+    // The flows themselves run in child processes — their spans land in
+    // those processes' (disabled) recorders. The coordinator's trace
+    // covers what *this* process does: the supervision window.
+    let _span = trace::span(trace::cat::FLOW, "shard-children").arg("shards", count as u64);
     let scratch = Scratch::prepare(opts)?;
     for shard in 0..count {
         let path = scratch.manifest_path(shard);
@@ -452,6 +459,7 @@ fn supervise_children(
                 Err(_) if worker.attempt == 0 => {
                     // Crashed (or corrupted) on the first attempt:
                     // deterministic re-run from the same manifest.
+                    tdals_obs::metrics().shard_restarts.incr();
                     match spawn_worker(shard, 1, exe, scratch, opts, frames_tx) {
                         Ok(respawned) => workers[slot] = Some(respawned),
                         Err(e) => {
@@ -532,7 +540,9 @@ fn drive_daemon(
     opts: &SupervisorOptions,
     frames: &Sender<Json>,
 ) -> Result<String, ClusterError> {
-    let started = Instant::now();
+    let _span =
+        trace::span(trace::cat::PAR, format!("shard-{shard}")).arg("jobs", jobs.len() as u64);
+    let started = clock::now();
     let stream = connect_retry(spec, opts.retries).map_err(|e| ClusterError::Protocol {
         shard,
         what: e.to_string(),
@@ -601,6 +611,24 @@ fn drive_daemon(
         std::thread::sleep(Duration::from_millis(10));
     }
 
+    // Per-shard stats for the merge report, best-effort: an older
+    // daemon answers `unknown-verb` and the summary frame is simply
+    // skipped — the stats verb is additive, never load-bearing.
+    if conn.send(&Request::Stats.to_json()).is_ok() {
+        if let Ok(Some(reply)) = conn.receive() {
+            if reply.get("ok").and_then(Json::as_str) == Some("stats") {
+                let _ = frames.send(Json::Obj(vec![
+                    ("schema".into(), Json::Num(PROTOCOL_SCHEMA as f64)),
+                    ("shard".into(), Json::Num(shard as f64)),
+                    (
+                        "stats".into(),
+                        reply.get("metrics").cloned().unwrap_or(Json::Null),
+                    ),
+                ]));
+            }
+        }
+    }
+
     // The daemon ships each record without its `job` index; the shard
     // knows its own submission order, so prepending the local index
     // reassembles the document the shard's serve-batch run would write.
@@ -640,6 +668,7 @@ pub fn run_daemons(
     on_frame: &mut dyn FnMut(&Json),
 ) -> Result<Vec<String>, ClusterError> {
     let count = plan.shard_count();
+    let _span = trace::span(trace::cat::FLOW, "shard-daemons").arg("shards", count as u64);
     if specs.len() < count {
         return Err(ClusterError::Plan {
             what: format!(

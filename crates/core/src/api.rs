@@ -48,7 +48,10 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use tdals_obs::clock::{self, Instant};
+use tdals_obs::trace;
 
 use tdals_netlist::{verilog, Netlist, ParseVerilogError};
 use tdals_sim::{ErrorMetric, Patterns, SimdWidth};
@@ -283,7 +286,7 @@ impl Budget {
             max_evaluations: self.max_evaluations,
             // A deadline too far to represent (e.g. Duration::MAX as
             // "effectively none") is no deadline at all, not a panic.
-            deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
+            deadline: self.deadline.and_then(|d| clock::now().checked_add(d)),
             cancel: self.cancel.clone(),
             evaluations: 0,
         }
@@ -307,6 +310,7 @@ impl BudgetTracker {
     /// Records `n` candidate evaluations.
     pub fn record_evaluations(&mut self, n: u64) {
         self.evaluations += n;
+        tdals_obs::metrics().evaluations.add(n);
     }
 
     /// Evaluations recorded so far.
@@ -338,7 +342,7 @@ impl BudgetTracker {
             return Some(StopReason::Cancelled);
         }
         if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+            if clock::now() >= deadline {
                 return Some(StopReason::DeadlineExpired);
             }
         }
@@ -516,6 +520,41 @@ impl<O: Observer + ?Sized> Observer for &mut O {
 impl<O: Observer + ?Sized> Observer for Box<O> {
     fn on_event(&mut self, event: &FlowEvent) {
         (**self).on_event(event);
+    }
+}
+
+/// Observer wrapper [`Flow::run`] installs around the user's observer:
+/// it translates the event stream every optimizer already emits into
+/// iteration spans and global counters, so DCGWO and all baselines are
+/// instrumented at one site, then forwards each event unchanged.
+struct InstrumentedObserver<'o> {
+    inner: &'o mut dyn Observer,
+    iteration: Option<trace::Span>,
+}
+
+impl Observer for InstrumentedObserver<'_> {
+    fn on_event(&mut self, event: &FlowEvent) {
+        match event {
+            FlowEvent::IterationStarted { iteration, .. } => {
+                // The closure defers the name allocation until the
+                // recorder is known to be on.
+                self.iteration = trace::enabled()
+                    .then(|| trace::span(trace::cat::ITERATION, format!("iter-{iteration}")));
+            }
+            FlowEvent::LacAccepted { .. } => {
+                tdals_obs::metrics().lacs_accepted.incr();
+            }
+            // OptimizeFinished also closes the span: an optimizer that
+            // stops mid-iteration (budget, cancellation, convergence)
+            // never emits the final IterationFinished, and the span
+            // must end inside the optimize phase, not wherever this
+            // wrapper dies.
+            FlowEvent::IterationFinished { .. } | FlowEvent::OptimizeFinished { .. } => {
+                self.iteration = None;
+            }
+            _ => {}
+        }
+        self.inner.on_event(event);
     }
 }
 
@@ -929,13 +968,16 @@ impl<'a> Flow<'a> {
         if let Some(threads) = threads {
             optimizer.set_threads(threads);
         }
-        let start = Instant::now();
+        let start = clock::now();
         let bound = error_bound.ok_or(FlowError::MissingErrorBound)?;
         if !(0.0..=1.0).contains(&bound) {
             // NaN fails the range check too.
             return Err(FlowError::InvalidErrorBound { bound });
         }
 
+        // The outermost span; phases and iterations nest inside it.
+        let _flow_span = trace::span(trace::cat::FLOW, optimizer.name());
+        let setup_span = trace::span(trace::cat::PHASE, "setup");
         let built;
         let ctx: &EvalContext = match &source {
             Source::Context(ctx) => ctx,
@@ -965,7 +1007,13 @@ impl<'a> Flow<'a> {
             }
         };
 
-        let obs: &mut dyn Observer = &mut *observer;
+        drop(setup_span);
+
+        let mut instrumented = InstrumentedObserver {
+            inner: &mut *observer,
+            iteration: None,
+        };
+        let obs: &mut dyn Observer = &mut instrumented;
         obs.on_event(&FlowEvent::FlowStarted {
             optimizer: optimizer.name().to_owned(),
             gates: ctx.accurate().logic_gate_count(),
@@ -974,12 +1022,17 @@ impl<'a> Flow<'a> {
             metric: ctx.metric(),
             error_bound: bound,
         });
+        let optimize_span = trace::span(trace::cat::PHASE, "optimize")
+            .arg("gates", ctx.accurate().logic_gate_count() as u64);
         let outcome = optimizer.optimize(ctx, bound, &budget, obs);
+        drop(optimize_span);
 
         let mut netlist = outcome.best.netlist.clone();
         let area_con = area_con.unwrap_or_else(|| ctx.area_ori());
         obs.on_event(&FlowEvent::PostOptStarted { area_con });
+        let post_opt_span = trace::span(trace::cat::PHASE, "post-opt");
         let post_opt = post_optimize(&mut netlist, ctx.timing(), &PostOptConfig::new(area_con));
+        drop(post_opt_span);
         obs.on_event(&FlowEvent::PostOptFinished { report: post_opt });
         #[cfg(debug_assertions)]
         {

@@ -37,6 +37,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
+use tdals_obs::{clock, trace};
+
 /// Number of worker threads the host can actually run in parallel
 /// (`std::thread::available_parallelism`, 1 when unknown).
 pub fn available_threads() -> usize {
@@ -79,6 +81,9 @@ where
         return items.into_iter().map(f).collect();
     }
     let workers = threads.min(items.len());
+    let _span = trace::span(trace::cat::PAR, "par_map")
+        .arg("items", items.len() as u64)
+        .arg("workers", workers as u64);
     // Per-slot mutexes instead of one big lock: workers only ever touch
     // disjoint indices, so the locks are uncontended by construction,
     // and the crate-wide `forbid(unsafe_code)` stays intact.
@@ -387,11 +392,17 @@ impl SlotPool {
             .position(|w| w.priority < priority)
             .unwrap_or(state.waiting.len());
         state.waiting.insert(at, me);
+        let m = tdals_obs::metrics();
+        m.queue_depth.set(state.waiting.len() as u64);
+        // Lazily stamped the first time this request actually blocks,
+        // so uncontended grants stay clock-free.
+        let mut wait_start: Option<clock::Instant> = None;
         loop {
             if abort() {
                 if let Some(pos) = state.waiting.iter().position(|w| w.ticket == ticket) {
                     state.waiting.remove(pos);
                 }
+                m.queue_depth.set(state.waiting.len() as u64);
                 // Leaving the line may expose a grantable new head.
                 self.inner.cv.notify_all();
                 return Ok(None);
@@ -403,6 +414,12 @@ impl SlotPool {
                 state.waiting.remove(0);
                 let sequence = state.next_grant;
                 state.next_grant += 1;
+                m.queue_depth.set(state.waiting.len() as u64);
+                m.grant_width.record(width as u64);
+                if let Some(start) = wait_start {
+                    m.lease_waits.incr();
+                    m.lease_wait_us.record(start.elapsed().as_micros() as u64);
+                }
                 // The next head may also be grantable from what's left.
                 self.inner.cv.notify_all();
                 return Ok(Some(SlotLease {
@@ -411,6 +428,7 @@ impl SlotPool {
                     sequence,
                 }));
             }
+            wait_start.get_or_insert_with(clock::now);
             // A short timed wait bounds how stale the abort poll can
             // get: releases notify the condvar, but nothing notifies on
             // an abort flag flipping.
@@ -438,6 +456,7 @@ impl SlotPool {
         state.free -= width;
         let sequence = state.next_grant;
         state.next_grant += 1;
+        tdals_obs::metrics().grant_width.record(width as u64);
         Some(SlotLease {
             inner: Arc::clone(&self.inner),
             width,

@@ -1,0 +1,99 @@
+//! The one audited wall-clock facade.
+//!
+//! This module is the **only** place in the workspace (benchmark
+//! binaries aside) allowed to read the machine clock; `detlint`
+//! enforces that textually and its allowlist exempts exactly this
+//! file. Concentrating every read here keeps the audit surface small:
+//! to check that wall-clock values never reach a results file, a
+//! digest, or candidate ordering, follow the callers of [`now`] — there
+//! is nowhere else a timestamp can be born.
+//!
+//! The facade deliberately exposes a *newtype* [`Instant`] rather than
+//! re-exporting `std::time::Instant`, so a caller cannot quietly call
+//! `std::time::Instant::now()` on a value obtained here; fresh
+//! timestamps only come from [`now`].
+
+use std::ops::Add;
+use std::sync::OnceLock;
+use std::time::Duration;
+use std::time::Instant as StdInstant;
+
+/// An opaque monotonic timestamp obtained from [`now`].
+///
+/// Supports exactly the operations the workspace needs — elapsed time,
+/// deadline arithmetic, and ordering — and nothing that would let a
+/// wall-clock value masquerade as data (no serialization, no numeric
+/// accessors besides durations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(StdInstant);
+
+/// Reads the monotonic clock. The single point where time enters the
+/// workspace.
+pub fn now() -> Instant {
+    Instant(StdInstant::now())
+}
+
+impl Instant {
+    /// Time elapsed since this instant was captured.
+    pub fn elapsed(&self) -> Duration {
+        now().0.saturating_duration_since(self.0)
+    }
+
+    /// `self + d`, or `None` on overflow (mirrors
+    /// `std::time::Instant::checked_add` for deadline arithmetic).
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        self.0.checked_add(d).map(Instant)
+    }
+
+    /// Duration from `earlier` to `self`, zero if `earlier` is later.
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        self.0.saturating_duration_since(earlier.0)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, d: Duration) -> Instant {
+        Instant(self.0 + d)
+    }
+}
+
+/// The process trace epoch: captured on first use, shared by every
+/// span so trace timestamps from all threads live on one axis.
+static EPOCH: OnceLock<StdInstant> = OnceLock::new();
+
+/// Microseconds since the process trace epoch (first call returns 0).
+///
+/// This is the timestamp base of the span recorder: monotone,
+/// process-relative, and never persisted anywhere except an explicit
+/// `--trace` artifact.
+pub fn micros_since_epoch() -> u64 {
+    let epoch = *EPOCH.get_or_init(StdInstant::now);
+    now().0.saturating_duration_since(epoch).as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instants_are_monotone_and_support_deadline_arithmetic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+        let deadline = a
+            .checked_add(Duration::from_secs(3600))
+            .expect("no overflow");
+        assert!(deadline > b, "an hour out is later than now");
+        assert!(a + Duration::from_secs(1) > a);
+        assert_eq!(a.saturating_duration_since(deadline), Duration::ZERO);
+    }
+
+    #[test]
+    fn epoch_micros_are_monotone() {
+        let a = micros_since_epoch();
+        let b = micros_since_epoch();
+        assert!(b >= a);
+    }
+}

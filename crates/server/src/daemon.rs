@@ -222,6 +222,7 @@ impl Daemon {
             })
             .collect();
         for id in finished {
+            tdals_obs::metrics().sessions_reaped.incr();
             let Some(SessionEntry::Live {
                 handle,
                 job,
@@ -264,6 +265,7 @@ impl Daemon {
             Request::Cancel { session } => self.cancel(session),
             Request::Drain => self.drain(),
             Request::Health => self.health(),
+            Request::Stats => self.stats(),
             Request::Shutdown => {
                 let reply = self.drain();
                 self.state.stop.store(true, Ordering::SeqCst);
@@ -514,6 +516,53 @@ impl Daemon {
         ])
     }
 
+    fn stats(&self) -> Json {
+        let mut registry = self.state.registry();
+        self.reap(&mut registry);
+        let mut by_status: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut by_tenant: BTreeMap<String, usize> = BTreeMap::new();
+        for entry in registry.sessions.values() {
+            *by_status.entry(status_label(entry.status())).or_default() += 1;
+            if entry.is_live() {
+                *by_tenant
+                    .entry(entry.tenant().unwrap_or("").to_owned())
+                    .or_default() += 1;
+            }
+        }
+        drop(registry);
+        // The process-wide registry is one shared instance, so a daemon
+        // embedded next to other work reports that work's counters too
+        // — by design: the counters describe the process.
+        let metrics = tdals_bench::obs_report::snapshot_to_json(&tdals_obs::metrics().snapshot());
+        Json::Obj(vec![
+            schema_field(),
+            ok_field("stats"),
+            ("metrics".into(), metrics),
+            (
+                "sessions".into(),
+                Json::Obj(
+                    by_status
+                        .into_iter()
+                        .map(|(s, n)| (s.to_owned(), Json::Num(n as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "tenants".into(),
+                Json::Obj(
+                    by_tenant
+                        .into_iter()
+                        .map(|(t, n)| (t, Json::Num(n as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "queue_depth".into(),
+                Json::Num(self.scheduler.waiting_sessions() as f64),
+            ),
+        ])
+    }
+
     // -----------------------------------------------------------------
     // Socket serving
     // -----------------------------------------------------------------
@@ -577,10 +626,12 @@ impl Daemon {
             match conn.receive() {
                 Ok(None) => break,
                 Ok(Some(frame)) => {
+                    tdals_obs::metrics().frames_read.incr();
                     let reply = self.handle(&frame);
                     if conn.send(&reply).is_err() {
                         break;
                     }
+                    tdals_obs::metrics().frames_written.incr();
                     if self.is_stopping() {
                         break;
                     }

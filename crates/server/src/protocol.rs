@@ -344,6 +344,10 @@ pub enum Request {
     /// Queue depth, slot utilization, per-status session counts,
     /// per-tenant live counts.
     Health,
+    /// The process metric registry (counters, gauges, histograms) plus
+    /// per-tenant and per-session gauges. Schema-compatible addition:
+    /// older daemons answer `unknown-verb` and clients degrade.
+    Stats,
     /// [`Request::Drain`], then stop the daemon process.
     Shutdown,
 }
@@ -383,6 +387,7 @@ impl Request {
             }
             Request::Drain => members.push(verb("drain")),
             Request::Health => members.push(verb("health")),
+            Request::Stats => members.push(verb("stats")),
             Request::Shutdown => members.push(verb("shutdown")),
         }
         Json::Obj(members)
@@ -485,12 +490,13 @@ impl Request {
             }),
             "drain" => Ok(Request::Drain),
             "health" => Ok(Request::Health),
+            "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err((
                 ErrorCode::UnknownVerb,
                 format!(
                     "unknown verb `{other}` (expected submit|status|events|result|cancel|\
-                     drain|health|shutdown)"
+                     drain|health|stats|shutdown)"
                 ),
             )),
         }

@@ -253,6 +253,9 @@ impl DeltaSim {
         let mut words: Vec<u64> = Vec::new();
         let mut stats = DeltaStats::default();
         self.propagate(target, switch, &mut slot, &mut words, &mut stats);
+        let m = tdals_obs::metrics();
+        m.delta_previews.incr();
+        m.delta_cone_gates.record(stats.changed as u64);
         DeltaView {
             base: self,
             target,
@@ -293,6 +296,7 @@ impl DeltaSim {
             self.fanouts = self.netlist.fanout_lists();
             self.commits_since_rebase = 0;
             self.full_resims += 1;
+            tdals_obs::metrics().delta_rebases.incr();
             return Ok(rewritten);
         }
 
@@ -305,6 +309,9 @@ impl DeltaSim {
         self.propagate(target, switch, &mut slot, &mut words, &mut stats);
         self.commit_stats.changed += stats.changed;
         self.commit_stats.damped += stats.damped;
+        let m = tdals_obs::metrics();
+        m.delta_commits.incr();
+        m.delta_cone_gates.record(stats.changed as u64);
 
         let rewritten = self.netlist.substitute(target, switch)?;
         for (g, &s) in slot.iter().enumerate() {

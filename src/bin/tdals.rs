@@ -16,6 +16,8 @@
 //!   the versioned frame protocol over TCP or a unix socket;
 //! * `submit` — client for `serve`: submit a manifest, stream events,
 //!   reassemble a results file byte-identical to `serve-batch`'s;
+//! * `stats`  — query a running daemon's metric registry (counters,
+//!   gauges, histograms) plus per-tenant/per-session tallies;
 //! * `report` — static timing + statistics report for a netlist;
 //! * `bench`  — emit one of the paper's regenerated benchmarks as
 //!   Verilog;
@@ -91,18 +93,21 @@ const USAGE: &str = "usage:
                [--method <dcgwo|gwo|hedals|greedy|vaacs>] [--output <file.v>]
                [--population <n>] [--iterations <n>] [--vectors <n>]
                [--area-con <µm²>] [--seed <n>] [--threads <n>] [--progress]
+               [--trace <trace.json>]
   tdals serve-batch --manifest <jobs.json> [--out <results.json>]
                [--total-threads <n>] [--session-threads <n>] [--progress]
+               [--trace <trace.json>]
   tdals shard-batch --manifest <jobs.json> --shards <n>
                [--workers serve-batch | --connect <addr,addr,...>]
                [--policy <round-robin|size-weighted>] [--out <results.json>]
                [--shard-map <file.json>] [--total-threads <n>] [--timeout <secs>]
-               [--retry <n>] [--progress]
+               [--retry <n>] [--progress] [--trace <trace.json>]
   tdals serve  --listen <host:port | socket-path> [--total-threads <n>]
                [--session-threads <n>] [--max-sessions <n>] [--tenant-quota <n>]
   tdals submit --connect <host:port | socket-path> [--manifest <jobs.json>]
                [--out <results.json>] [--tenant <name>] [--retry <n>]
                [--progress] [--drain] [--shutdown]
+  tdals stats  --connect <host:port | socket-path> [--retry <n>]
   tdals report --input <file.v | bench:NAME>
   tdals bench  --name <NAME> [--output <file.v>]
   tdals lint   --input <file.v | bench:NAME> [--deny warnings] [--json]
@@ -123,6 +128,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "shard-batch" => cmd_shard_batch(&opts),
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
+        "stats" => cmd_stats(&opts),
         "report" => cmd_report(&opts),
         "bench" => cmd_bench(&opts),
         "lint" => cmd_lint(&opts),
@@ -222,6 +228,30 @@ fn parse_bound(opts: &HashMap<String, String>) -> Result<f64, CliError> {
     check_bound(bound).map_err(|msg| CliError::run(format!("--bound: {msg}")))
 }
 
+/// Arms the span recorder when `--trace <out.json>` was passed,
+/// returning the output path for [`write_trace`] to drain into after
+/// the run. Tracing is strictly additive: it records timings, never
+/// feeds them back, so results files are byte-identical with it on.
+fn trace_path(opts: &HashMap<String, String>) -> Option<&String> {
+    let path = opts.get("trace")?;
+    tdals::obs::trace::enable(0);
+    Some(path)
+}
+
+/// Drains the span recorder into a Chrome trace-event JSON artifact —
+/// load it in `chrome://tracing` or <https://ui.perfetto.dev>.
+fn write_trace(path: Option<&String>) -> Result<(), CliError> {
+    let Some(path) = path else { return Ok(()) };
+    tdals::obs::trace::disable();
+    let dropped = tdals::obs::trace::dropped();
+    let records = tdals::obs::trace::drain();
+    let doc = tdals_bench::obs_report::trace_to_json(&records, dropped);
+    let text = format!("{doc}\n");
+    fs::write(path, &text).map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
+    eprintln!("wrote {path} ({} span(s))", records.len());
+    Ok(())
+}
+
 fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
     // The CLI is a thin shell over the same FlowJob the manifest format
     // and the daemon admit, so defaults and validation cannot drift
@@ -299,9 +329,11 @@ fn cmd_flow(opts: &HashMap<String, String>) -> Result<(), CliError> {
             print_progress("", ev);
         }
     });
+    let trace = trace_path(opts);
     let result = job
         .run_with(threads, job.budget.to_budget(), &mut obs)
         .map_err(|e| CliError::run(e.to_string()))?;
+    write_trace(trace)?;
     eprintln!(
         "done: Ratio_cpd {:.4}, CPD_fac {:.2} ps, error {:.5}, area {:.2} µm², {:.1}s ({})",
         result.ratio_cpd,
@@ -414,6 +446,7 @@ fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
 
     // Pump per-session event streams to stderr until every session is
     // done; results land in submission order whatever order they finish.
+    let trace = trace_path(opts);
     let report = run
         .run(&mut |i, name, ev| {
             if progress {
@@ -421,6 +454,7 @@ fn cmd_serve_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
             }
         })
         .map_err(|e| CliError::run(e.to_string()))?;
+    write_trace(trace)?;
 
     let text = format!("{}\n", report.document());
     match opts.get("out") {
@@ -515,10 +549,31 @@ fn cmd_shard_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
         .with_retries(retries)
         .with_progress(progress);
     let mut on_frame = |frame: &Json| {
-        if progress {
+        if let Some(stats) = frame.get("stats") {
+            // Per-shard stats summary (mode B, from daemons that speak
+            // the verb) — part of the merge report, so it prints
+            // whether or not --progress is set.
+            let shard = frame.get("shard").and_then(Json::as_f64).unwrap_or(-1.0);
+            let counter = |name: &str| {
+                stats
+                    .get("counters")
+                    .and_then(|c| c.get(name))
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0)
+            };
+            eprintln!(
+                "shard {shard:.0} stats: {:.0} evaluations, {:.0} frames read, \
+                 {:.0} frames written, {:.0} session(s) reaped",
+                counter("evaluations"),
+                counter("frames_read"),
+                counter("frames_written"),
+                counter("sessions_reaped")
+            );
+        } else if progress {
             eprintln!("{}", frame.compact());
         }
     };
+    let trace = trace_path(opts);
     let docs = match &connect_specs {
         Some(specs) => {
             eprintln!(
@@ -546,7 +601,13 @@ fn cmd_shard_batch(opts: &HashMap<String, String>) -> Result<(), CliError> {
     }
     .map_err(|e| CliError::run(e.to_string()))?;
 
-    let merged = merge(&shard_plan, &docs).map_err(|e| CliError::run(e.to_string()))?;
+    let merged = {
+        let _span = tdals::obs::trace::span(tdals::obs::trace::cat::PHASE, "merge")
+            .arg("shards", shard_plan.shard_count() as u64);
+        merge(&shard_plan, &docs)
+    };
+    write_trace(trace)?;
+    let merged = merged.map_err(|e| CliError::run(e.to_string()))?;
     match opts.get("out") {
         Some(path) => {
             fs::write(path, &merged).map_err(|e| CliError::run(format!("writing {path}: {e}")))?;
@@ -811,6 +872,22 @@ fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), CliError> {
             "{failed} job(s) did not complete (see the results file)"
         )));
     }
+    Ok(())
+}
+
+/// `tdals stats --connect <addr>`: one `stats` round-trip against a
+/// running daemon, reply pretty-printed to stdout. An older daemon that
+/// predates the verb answers `unknown-verb`, which surfaces here as a
+/// plain run error naming the verbs it does speak.
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let spec = opts
+        .get("connect")
+        .ok_or_else(|| CliError::Usage("--connect is required".into()))?;
+    let retries = parse_num(opts, "retry", 0usize)?;
+    let mut conn =
+        Connection::new(connect_retry(spec, retries).map_err(|e| CliError::run(e.to_string()))?);
+    let reply = roundtrip(&mut conn, &Request::Stats)?;
+    println!("{reply}");
     Ok(())
 }
 

@@ -21,6 +21,7 @@
 //! | [`server`] | `tdals-server` | multi-tenant session scheduler |
 //! | [`cluster`] | `tdals-cluster` | multi-process shard coordinator |
 //! | [`lint`] | `tdals-lint` | structural netlist lint rules |
+//! | [`obs`] | `tdals-obs` | metrics, span tracing, clock facade |
 //!
 //! # Quick start
 //!
@@ -59,6 +60,7 @@ pub use tdals_cluster as cluster;
 pub use tdals_core as core;
 pub use tdals_lint as lint;
 pub use tdals_netlist as netlist;
+pub use tdals_obs as obs;
 pub use tdals_server as server;
 pub use tdals_sim as sim;
 pub use tdals_sta as sta;

@@ -101,6 +101,7 @@ fn golden_request_frames_round_trip() {
         ),
         (Request::Drain, r#"{"schema":1,"verb":"drain"}"#),
         (Request::Health, r#"{"schema":1,"verb":"health"}"#),
+        (Request::Stats, r#"{"schema":1,"verb":"stats"}"#),
         (Request::Shutdown, r#"{"schema":1,"verb":"shutdown"}"#),
     ];
     for (request, golden) in cases {
@@ -610,6 +611,68 @@ fn daemon_health_reports_slots_sessions_and_tenants() {
 }
 
 #[test]
+fn daemon_stats_reports_registry_sessions_and_queue() {
+    let daemon = Daemon::new(DaemonConfig::new(1)).expect("valid config");
+    let reply = daemon.handle(&submit(&quick_job(13), None));
+    let id = session_of(&reply);
+    let done = daemon.handle(
+        &Request::Result {
+            session: id,
+            wait: true,
+        }
+        .to_json(),
+    );
+    assert_eq!(done.get("done"), Some(&Json::Bool(true)));
+
+    let stats = daemon.handle(&Request::Stats.to_json());
+    assert_eq!(code_of(&stats), None, "{stats}");
+    assert_eq!(stats.get("ok").and_then(Json::as_str), Some("stats"));
+
+    // The registry is process-wide, so counters only ever grow across
+    // tests in this binary — assert floors, not exact values.
+    let counter = |name: &str| {
+        stats
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("counter {name} present: {stats}"))
+    };
+    assert!(counter("evaluations") > 0.0, "the flow evaluated mutants");
+    assert!(counter("sessions_reaped") >= 1.0, "stats reaps first");
+
+    let sessions = stats.get("sessions").expect("sessions tally");
+    assert!(
+        sessions.get("completed").and_then(Json::as_f64) >= Some(1.0),
+        "{stats}"
+    );
+    assert!(
+        stats.get("queue_depth").and_then(Json::as_f64).is_some(),
+        "{stats}"
+    );
+    assert!(stats.get("tenants").is_some(), "{stats}");
+}
+
+#[test]
+fn stats_against_an_old_daemon_degrades_to_unknown_verb() {
+    // A schema-1 daemon built before the stats verb answers it with a
+    // typed unknown-verb error (not a schema break or a hangup) — the
+    // vocabulary it advertises is how a new client learns what happened.
+    let frame = Json::parse(r#"{"schema":1,"verb":"stats"}"#).expect("valid JSON");
+    assert_eq!(Request::from_json(&frame).expect("parses"), Request::Stats);
+
+    let (code, message) = {
+        let unknown = Json::parse(r#"{"schema":1,"verb":"frobnicate"}"#).expect("valid JSON");
+        Request::from_json(&unknown).expect_err("unknown verb")
+    };
+    assert_eq!(code, ErrorCode::UnknownVerb);
+    assert!(
+        message.contains("stats"),
+        "the advertised verb list names stats: {message}"
+    );
+}
+
+#[test]
 fn daemon_rejects_unknown_sessions_and_inadmissible_jobs() {
     let daemon = Daemon::new(DaemonConfig::new(1)).expect("valid config");
     let reply = daemon.handle(&Request::Status { session: 99 }.to_json());
@@ -812,6 +875,19 @@ fn socket_submit_status_events_result_full_session() {
         panic!("events is an array");
     };
     assert!(!frames.is_empty(), "the finished session's stream flushes");
+
+    // Stats over the same socket: the registry saw this job's work.
+    let stats = call(&mut conn, &Request::Stats);
+    assert_eq!(stats.get("ok").and_then(Json::as_str), Some("stats"));
+    assert!(
+        stats
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("evaluations"))
+            .and_then(Json::as_f64)
+            > Some(0.0),
+        "{stats}"
+    );
 
     let bye = call(&mut conn, &Request::Shutdown);
     assert_eq!(code_of(&bye), None);

@@ -13,7 +13,9 @@
 //! output is byte-identical across `--total-threads 1` vs `4`.
 
 use std::process::Command;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use tdals::obs::clock;
 
 use tdals::baselines::{Method, ALL_METHODS};
 use tdals::circuits::Benchmark;
@@ -91,9 +93,9 @@ fn solo_digest(job: &FlowJob) -> Digest {
 /// Waits for `cond` with a generous deadline so a broken scheduler
 /// fails the test instead of hanging CI.
 fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
-    let deadline = Instant::now() + Duration::from_secs(120);
+    let deadline = clock::now() + Duration::from_secs(120);
     while !cond() {
-        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        assert!(clock::now() < deadline, "timed out waiting for {what}");
         std::thread::sleep(Duration::from_millis(2));
     }
 }
